@@ -1,0 +1,37 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md section 4), records its wall time via pytest-benchmark, prints
+the rendered artifact, and archives it under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference concrete numbers.
+
+The experiments are deterministic end-to-end, so every benchmark runs its
+payload exactly once (``benchmark.pedantic(rounds=1)``) — repetition would
+re-measure identical work.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_artifact(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a payload exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,30 @@
+"""Section 6.2.5: maxrss memory overhead.
+
+Paper: 1-3% across SPEC; ~100% for the webservers, ~55% of which stems
+from the BTDP guard-page allocations, the rest from BTRAs and binary-size
+growth.
+
+Reproduction target: the SPEC/webserver contrast (small fixed cost buried
+under large working sets vs. dominating a small server's RSS) and the
+BTDP allocations as the main driver of the webserver overhead.  Our BTDP
+share runs higher than the paper's 55% because the synthetic server's
+binary is far smaller than a real nginx build (see EXPERIMENTS.md).
+"""
+
+from repro.eval.experiments import experiment_memory
+from repro.eval.report import render_memory
+
+from benchmarks.conftest import save_artifact
+
+
+def test_memory_overheads(run_once):
+    data = run_once(experiment_memory)
+    save_artifact("memory_overhead", render_memory(data))
+
+    for name, pct in data["spec"].items():
+        assert 0 <= pct < 12, f"SPEC {name}: {pct:.1f}%"
+    for server, pct in data["webserver"].items():
+        assert pct > 40, f"{server}: {pct:.1f}%"
+        assert data["btdp_share"][server] > 50
+    # The contrast itself: worst SPEC << best webserver.
+    assert max(data["spec"].values()) < min(data["webserver"].values()) / 4

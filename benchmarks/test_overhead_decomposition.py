@@ -1,0 +1,45 @@
+"""Measured overhead decomposition (complements Table 1).
+
+Table 1 isolates components by *recompiling* with one feature at a time;
+this bench decomposes a single full-R2C run by attributing cycles to the
+instructions each feature emitted (tags on the emitted code).  The two
+views must agree on the headline: BTRA setup is the dominant tagged cost
+on call-dense code, and almost nothing is unaccounted for (the residual —
+i-cache displacement of untagged code — stays small).
+"""
+
+from repro.eval.experiments import experiment_overhead_decomposition
+from repro.eval.report import render_decomposition
+
+from benchmarks.conftest import save_artifact
+
+
+def test_overhead_decomposition(run_once):
+    def experiment():
+        return {
+            "omnetpp/avx": experiment_overhead_decomposition(benchmark="omnetpp"),
+            "omnetpp/push": experiment_overhead_decomposition(
+                benchmark="omnetpp", btra_mode="push"
+            ),
+            "xz/avx": experiment_overhead_decomposition(benchmark="xz"),
+        }
+
+    data = run_once(experiment)
+    text = "\n\n".join(
+        f"[{label}]\n{render_decomposition(row)}" for label, row in data.items()
+    )
+    save_artifact("overhead_decomposition", text)
+
+    for label, row in data.items():
+        shares = {k: v for k, v in row.items() if k != "total_overhead_pct"}
+        # The attribution accounts for (nearly) all added cycles.
+        assert 85.0 <= sum(shares.values()) <= 115.0, label
+        # BTRA machinery (setup + offsets + reverts) is a major component.
+        btra_total = sum(v for k, v in shares.items() if k.startswith("btra"))
+        assert btra_total > 15.0, label
+    # Push setup spends more on BTRA writes than AVX does.
+    push_btra = sum(
+        v for k, v in data["omnetpp/push"].items() if k.startswith("btra")
+    )
+    avx_btra = sum(v for k, v in data["omnetpp/avx"].items() if k.startswith("btra"))
+    assert push_btra > avx_btra

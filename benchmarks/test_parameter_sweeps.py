@@ -1,0 +1,58 @@
+"""Parameter sweeps: the trade-off curves behind R2C's knobs.
+
+* BTRA count (Section 4.1 parameterizes it; Section 7.2.1 gives the
+  security it buys): overhead grows with R, guessing probability falls
+  as 1/(R+1).
+* BTDP density (Section 7.2.3): overhead grows with B, the benign
+  fraction H/(H+B) of the leaked heap cluster falls.
+* Optimization level: better baseline code -> higher *relative* R2C cost
+  (context for the paper's -O3 methodology).
+"""
+
+from repro.eval.experiments import (
+    experiment_btdp_sweep,
+    experiment_btra_sweep,
+    experiment_opt_levels,
+)
+from repro.eval.report import render_btdp_sweep, render_btra_sweep, render_opt_levels
+
+from benchmarks.conftest import save_artifact
+
+
+def test_btra_count_tradeoff(run_once):
+    data = run_once(experiment_btra_sweep)
+    save_artifact("sweep_btra_count", render_btra_sweep(data))
+
+    counts = sorted(data)
+    overheads = [data[c]["overhead_pct"] for c in counts]
+    # Overhead is monotone (within noise) in the BTRA count...
+    assert overheads[-1] > overheads[0]
+    assert all(b >= a - 1.0 for a, b in zip(overheads, overheads[1:]))
+    # ...and the security knob follows the closed form.
+    assert data[10]["guess_probability"] == 1 / 11
+    assert data[20]["guess_probability"] < data[5]["guess_probability"]
+
+
+def test_btdp_density_tradeoff(run_once):
+    data = run_once(experiment_btdp_sweep)
+    save_artifact("sweep_btdp_density", render_btdp_sweep(data))
+
+    maxima = sorted(data)
+    assert data[maxima[-1]]["overhead_pct"] >= data[0]["overhead_pct"]
+    # More BTDPs -> smaller benign fraction of the heap cluster.
+    fractions = [data[m]["benign_fraction"] for m in maxima]
+    assert fractions[0] == 1.0  # no BTDPs, everything benign
+    assert fractions[-1] < 0.6
+
+
+def test_optimization_raises_relative_overhead(run_once):
+    data = run_once(experiment_opt_levels)
+    save_artifact("sweep_opt_levels", render_opt_levels(data))
+
+    # Without redundancy, the optimizer has nothing to remove: levels tie.
+    flat = data["redundancy=0"]
+    assert abs(flat["O1"] - flat["O0"]) < 2.0
+    # With redundancy, -O1 shrinks the per-call arithmetic and R2C's fixed
+    # per-call cost looms larger.
+    heavy = data["redundancy=25"]
+    assert heavy["O1"] > heavy["O0"] + 3.0

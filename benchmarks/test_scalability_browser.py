@@ -1,0 +1,32 @@
+"""Section 6.3: scalability — compiling browser-scale software.
+
+The paper compiles WebKit (4.5 MLoC) and Chromium (32 MLoC) and verifies
+them with test suites and Speedometer.  The analogue: generate
+progressively larger synthetic corpora, compile them under full R2C, and
+verify the diversified binaries against the reference interpreter.
+
+Reproduction target: compilation succeeds and verifies at every size, and
+compile time scales roughly linearly (no super-linear blow-up that would
+make browser-scale compilation infeasible).
+"""
+
+from repro.eval.experiments import experiment_scalability
+from repro.eval.report import render_scalability
+
+from benchmarks.conftest import save_artifact
+
+SIZES = (200, 600, 1800)
+
+
+def test_browser_scale_compilation(run_once):
+    rows = run_once(experiment_scalability, sizes=SIZES)
+    save_artifact("scalability_browser", render_scalability(rows))
+
+    assert all(row["verified"] for row in rows)
+    # Roughly linear compile-time scaling: 9x the functions should cost
+    # well under 30x the time.
+    small, large = rows[0], rows[-1]
+    size_ratio = large["functions"] / small["functions"]
+    time_ratio = large["compile_seconds"] / max(small["compile_seconds"], 1e-9)
+    assert time_ratio < size_ratio * 3.5
+    assert large["text_bytes"] > small["text_bytes"]

@@ -1,0 +1,34 @@
+"""Table 1: per-component overheads (Push / AVX / BTDP / Prolog / Layout),
+plus the offset-invariant-addressing measurement of Section 6.2.1.
+
+Paper values (ratio to baseline):
+    Push   max 1.21  geomean 1.06
+    AVX    max 1.10  geomean 1.04
+    BTDP   max 1.05  geomean 1.02
+    Prolog max 1.06  geomean 1.02
+    Layout max 1.02  geomean 1.00
+    OIA    max 1.036 geomean 1.008
+
+Reproduction target: the *ordering* (Push > AVX > BTDP ≥ Prolog > Layout)
+and Layout ≈ 1.0.  Our OIA row sits at ~1.0 because the baseline codegen
+is already frame-pointer-omitting (see EXPERIMENTS.md).
+"""
+
+from repro.eval.experiments import experiment_table1
+from repro.eval.report import render_table1
+
+from benchmarks.conftest import save_artifact
+
+
+def test_table1_component_overheads(run_once):
+    rows = run_once(experiment_table1, seeds=(1, 2))
+    save_artifact("table1_components", render_table1(rows))
+
+    # The paper's component ordering must hold.
+    assert rows["Push"]["geomean"] > rows["AVX"]["geomean"] > 1.0
+    assert rows["AVX"]["geomean"] > rows["BTDP"]["geomean"]
+    assert rows["BTDP"]["geomean"] >= rows["Prolog"]["geomean"]
+    assert rows["Layout"]["geomean"] < 1.02
+    assert rows["OIA"]["geomean"] < 1.02
+    # The push outlier (omnetpp at 1.21 in the paper) exists here too.
+    assert rows["Push"]["max"] > 1.10

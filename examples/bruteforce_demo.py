@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Blind ROP vs. booby traps: the reactive component in action.
+
+A Blind-ROP attacker brute-forces a restarting worker pool: locate the
+return address by the crash side channel, then scan code addresses until
+the payload runs.  Against the monoculture this is just a matter of
+probes.  Against R2C the scan immediately walks into booby-trap functions
+— every detonation is a *detection*, and the defender shuts the campaign
+down after a handful.
+
+Run:  python examples/bruteforce_demo.py
+"""
+
+from repro.attacks import VictimSession, blindrop_attack, pirop_attack
+from repro.core.config import R2CConfig
+
+
+def show(label, result, session):
+    print(f"{label:>22}: {result.outcome.value:9s}  probes={result.probes:4d}  "
+          f"crashes={result.crashes:4d}  booby-trap detections="
+          f"{session.monitor.booby_trap_hits}")
+    for note in result.notes:
+        print(f"{'':>24}- {note}")
+
+
+def main():
+    print(__doc__)
+    print("Blind ROP (crash side channel + code scan):")
+    base = VictimSession(R2CConfig.baseline(), execute_only=False)
+    show("baseline", blindrop_attack(base, attacker_seed=3), base)
+    r2c = VictimSession(R2CConfig.full(seed=5))
+    show("full R2C", blindrop_attack(r2c, attacker_seed=3), r2c)
+
+    print()
+    print("PIROP (partial pointer overwrite, no info leak):")
+    base = VictimSession(R2CConfig.baseline(), execute_only=False)
+    show("baseline", pirop_attack(base, attacker_seed=3), base)
+    r2c = VictimSession(R2CConfig.full(seed=6))
+    show("full R2C", pirop_attack(r2c, attacker_seed=3), r2c)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Mini Figure 6: full-R2C overhead on a SPEC-suite subset.
+
+Compiles each synthetic SPEC benchmark with and without full protection
+(fresh diversification seed per run, as in the paper) and prints the
+overhead per benchmark on two machine models.
+
+Run:  python examples/spec_overhead.py  [benchmark ...]
+"""
+
+import sys
+
+from repro.core.config import R2CConfig
+from repro.eval.harness import measure_config
+from repro.eval.stats import geomean
+from repro.workloads.spec import SPEC_BENCHMARKS, build_spec_benchmark
+
+DEFAULT_SUBSET = ["perlbench", "mcf", "lbm", "omnetpp", "xalancbmk", "xz"]
+MACHINES = ["epyc-rome", "xeon"]
+
+
+def main():
+    print(__doc__)
+    names = sys.argv[1:] or DEFAULT_SUBSET
+    unknown = [n for n in names if n not in SPEC_BENCHMARKS]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {unknown}; pick from {list(SPEC_BENCHMARKS)}")
+
+    print(f"{'benchmark':12s}" + "".join(f"{m:>12s}" for m in MACHINES))
+    ratios = {m: [] for m in MACHINES}
+    for name in names:
+        row = f"{name:12s}"
+        for machine in MACHINES:
+            source = lambda n=name: build_spec_benchmark(n)
+            baseline = measure_config(source, R2CConfig.baseline(), machine=machine, seeds=(1,))
+            protected = measure_config(source, R2CConfig.full(), machine=machine, seeds=(1, 2))
+            ratio = protected / baseline
+            ratios[machine].append(ratio)
+            row += f"{100 * (ratio - 1):11.1f}%"
+        print(row)
+    print(f"{'geomean':12s}" + "".join(
+        f"{100 * (geomean(ratios[m]) - 1):11.1f}%" for m in MACHINES
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip cannot build PEP 660 editable
+wheels offline (no `wheel` package available).  `pip install -e .` uses
+pyproject.toml where possible; `python setup.py develop` uses this."""
+from setuptools import setup
+
+setup()

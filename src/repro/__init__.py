@@ -1,0 +1,26 @@
+"""repro — a reproduction of *R2C: AOCR-Resilient Diversity with Reactive
+and Reflective Camouflage* (Berlakovich & Brunthaler, EuroSys 2023).
+
+The package builds the paper's entire stack as a simulation:
+
+* :mod:`repro.machine` — an x86-64-style machine (ISA, paged memory with
+  execute-only and guard pages, cycle/i-cache cost model, ASLR process).
+* :mod:`repro.toolchain` — a mini compiler (IR, codegen, regalloc, linker)
+  standing in for LLVM.
+* :mod:`repro.core` — the R2C defense itself: BTRAs, BTDPs, booby traps,
+  code/data layout randomization, the runtime constructor, and the
+  compiler facade.
+* :mod:`repro.attacks` — ROP / JIT-ROP / AOCR / Blind-ROP / PIROP attack
+  implementations against simulated processes.
+* :mod:`repro.workloads` — SPEC-CPU-2017-like synthetic benchmarks, a
+  webserver, and a browser-scale corpus generator.
+* :mod:`repro.eval` — the harness that regenerates every table and figure
+  of the paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.config import R2CConfig
+from repro.core.compiler import R2CCompiler, compile_module
+
+__all__ = ["R2CConfig", "R2CCompiler", "compile_module", "__version__"]

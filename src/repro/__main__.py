@@ -1,0 +1,128 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro table1 [--quick]     # Table 1 component overheads
+    python -m repro figure6 [--quick]    # Figure 6 per-machine overheads
+    python -m repro table2 table3 ...    # any subset, in order
+    python -m repro all --quick          # everything, reduced inputs
+
+``--quick`` shrinks benchmark subsets and seed counts so a full pass
+finishes in a couple of minutes; omit it for the benchmark-suite-sized
+runs (identical to ``pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval import experiments, report
+
+QUICK_BENCHMARKS = ["perlbench", "mcf", "lbm", "omnetpp", "xalancbmk", "xz"]
+
+
+def run_table1(quick: bool) -> str:
+    rows = experiments.experiment_table1(
+        seeds=(1,) if quick else (1, 2),
+        benchmarks=QUICK_BENCHMARKS if quick else None,
+    )
+    return report.render_table1(rows)
+
+
+def run_table2(quick: bool) -> str:
+    counts = experiments.experiment_table2(inputs=(1,) if quick else (1, 2, 3))
+    return report.render_table2(counts)
+
+
+def run_figure6(quick: bool) -> str:
+    data = experiments.experiment_figure6(
+        seeds=(1,) if quick else (1, 2),
+        benchmarks=QUICK_BENCHMARKS if quick else None,
+    )
+    return report.render_figure6(data)
+
+
+def run_webserver(quick: bool) -> str:
+    data = experiments.experiment_webserver(
+        requests=80 if quick else 150, seeds=(1,) if quick else (1, 2)
+    )
+    return report.render_webserver(data)
+
+
+def run_memory(quick: bool) -> str:
+    data = experiments.experiment_memory(
+        benchmarks=QUICK_BENCHMARKS if quick else None
+    )
+    return report.render_memory(data)
+
+
+def run_scalability(quick: bool) -> str:
+    rows = experiments.experiment_scalability(sizes=(100, 300) if quick else (200, 600, 1800))
+    return report.render_scalability(rows)
+
+
+def run_table3(quick: bool) -> str:
+    matrix = experiments.experiment_table3(trials=1 if quick else 3)
+    return report.render_table3(matrix)
+
+
+def run_security(quick: bool) -> str:
+    data = experiments.experiment_security_probabilities(
+        mc_trials=20_000 if quick else 200_000,
+        stack_samples=6 if quick else 25,
+    )
+    return report.render_security_probabilities(data)
+
+
+EXPERIMENTS = {
+    "table1": (run_table1, "Table 1: component overheads"),
+    "table2": (run_table2, "Table 2: call frequencies"),
+    "figure6": (run_figure6, "Figure 6: full R2C on four machines"),
+    "webserver": (run_webserver, "Section 6.2.4: webserver throughput"),
+    "memory": (run_memory, "Section 6.2.5: memory overhead"),
+    "scalability": (run_scalability, "Section 6.3: browser-scale compilation"),
+    "table3": (run_table3, "Table 3: attacks vs defenses"),
+    "security": (run_security, "Sections 7.2.1/7.2.3: guessing probabilities"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the R2C paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"'list', 'all', or any of: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced inputs (~minutes, not tens of minutes)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name, (_, title) in EXPERIMENTS.items():
+            print(f"  {name:12s} {title}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; try 'list'")
+
+    for name in names:
+        fn, title = EXPERIMENTS[name]
+        print(f"=== {title} ===")
+        started = time.perf_counter()
+        print(fn(args.quick))
+        print(f"[{time.perf_counter() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Blind-ROP-style brute force against restarting workers (Sections 4.1, 7.3).
+
+The scenario: a forked worker pool restarts crashed workers *without*
+re-randomizing (nginx/Apache/OpenSSH, per the paper), so the attacker can
+spend many probes against one layout.  Two phases:
+
+1. **Locate the return address by the crash side channel** (Section 7.3):
+   zero one code-pointer-looking stack slot per probe; the worker crashes
+   iff the zeroed slot was a live return address.  Note that this works
+   *even against R2C* — the paper concedes exactly this residual attack
+   surface ("by overwriting selected return address candidates with zero
+   and observing whether the process crashes, the attacker could learn
+   the location of the real return address").
+2. **Scan for the payload**: per probe, overwrite the located return
+   address with a guessed code address (seeded by the code-pointer values
+   leaked in phase 1) and observe the outcome.  Here R2C's reactive
+   component bites: the guessed addresses land in booby-trap functions
+   and prolog traps, each detonation is a *detection*, and the campaign is
+   stopped once the defender's detection budget is exhausted — whereas
+   against the undiversified baseline the scan only produces anonymous
+   crashes until it finds the payload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.attacks.clustering import cluster_pointers
+from repro.attacks.outcomes import AttackOutcome, AttackResult
+from repro.attacks.scenario import VictimSession
+from repro.attacks.surface import AttackerView
+from repro.rng import DiversityRng
+
+WORD = 8
+
+
+def blindrop_attack(
+    session: VictimSession,
+    *,
+    attacker_seed: int = 0,
+    max_probes: int = 1200,
+    scan_stride: int = 1,
+    scan_span: int = 4096,
+) -> AttackResult:
+    result = AttackResult(attack="blindrop", outcome=AttackOutcome.FAILED)
+    rng = DiversityRng(attacker_seed).child("blindrop")
+
+    # --- Phase 0: one clean probe to map the candidate slots -------------
+    recon: dict = {}
+
+    def recon_hook(view: AttackerView) -> None:
+        clusters = cluster_pointers(view.leak_stack())
+        recon["slots"] = [addr - view.rsp for addr, _ in clusters.image]
+        recon["values"] = [value for _, value in clusters.image]
+
+    status, _ = session.probe(recon_hook, attacker_seed=attacker_seed)
+    result.probes += 1
+    if "slots" not in recon or not recon["slots"]:
+        result.note("no code-pointer candidates on the stack")
+        return result
+
+    # --- Phase 1: find the live return address by zeroing candidates ------
+    ra_offset: Optional[int] = None
+    for slot_offset in recon["slots"]:
+        if result.probes >= max_probes or session.monitor.tripped:
+            break
+
+        def zero_hook(view: AttackerView, slot=slot_offset) -> None:
+            view.write_word(view.rsp + slot, 0)
+
+        status, _ = session.probe(zero_hook, attacker_seed=attacker_seed)
+        result.probes += 1
+        if status in ("crashed", "detected"):
+            ra_offset = slot_offset
+            break
+    if ra_offset is None:
+        result.note("crash side channel found no live return address")
+        result.detections = session.monitor.detections
+        result.crashes = session.monitor.crashes
+        return result
+    result.note(f"return-address slot located at rsp+{ra_offset:#x}")
+
+    # --- Phase 2: scan guessed code addresses through the RA --------------
+    # Estimate the image base: leaked code pointers rounded down to a page
+    # (ASLR is page-granular), then scan byte-wise upward, as Blind ROP
+    # scans for stop gadgets.  Against a small monoculture text the payload
+    # sits a few hundred probes in; against R2C the very same scan walks
+    # into booby-trap functions scattered through the (much larger,
+    # shuffled) text section.
+    seeds: List[int] = sorted(set(recon["values"]))
+    base_guess = min(seeds) & ~0xFFF
+    guesses: List[int] = [base_guess + delta for delta in range(0, scan_span, scan_stride)]
+
+    for guess in guesses:
+        if result.probes >= max_probes:
+            result.note("probe budget exhausted")
+            break
+        if session.monitor.tripped:
+            result.outcome = AttackOutcome.DETECTED
+            result.note("defender detection budget tripped by booby traps")
+            break
+
+        def scan_hook(view: AttackerView, target=guess) -> None:
+            view.write_word(view.rsp + ra_offset, target)
+
+        status, _ = session.probe(scan_hook, attacker_seed=attacker_seed)
+        result.probes += 1
+        if status == "success":
+            result.outcome = AttackOutcome.SUCCESS
+            result.note(f"payload found at guessed address {guess:#x}")
+            break
+
+    result.detections = session.monitor.detections
+    result.crashes = session.monitor.crashes
+    if result.outcome is AttackOutcome.FAILED and session.monitor.tripped:
+        result.outcome = AttackOutcome.DETECTED
+    return result

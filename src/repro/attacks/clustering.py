@@ -1,0 +1,83 @@
+"""AOCR's statistical pointer analysis (Sections 2.3 and 4.2).
+
+The AOCR paper observes that, on x86-64, the values of pointers leaked
+from the stack fall into clusters by value range, and that an attacker who
+cannot locate a *specific* heap pointer (thanks to stack-slot
+randomization) can still pick *any* member of the heap cluster.  Two
+classifiers are provided:
+
+* :func:`cluster_by_gaps` — the pure statistical method: sort the leaked
+  words and split wherever consecutive values differ by more than a gap
+  threshold.  Used to demonstrate that BTDPs land in the same cluster as
+  benign heap pointers (they share the value range by construction).
+* :func:`cluster_pointers` — the practical attacker's classifier: assign
+  words to the OS's well-known region bands (image, heap, stack).  The
+  bands are public platform knowledge; ASLR randomizes only the offset
+  within a band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.machine.process import HEAP_ANCHOR, STACK_ANCHOR, TEXT_ANCHOR
+from repro.machine.memory import PAGE_SIZE
+from repro.machine.process import ASLR_SLIDE_PAGES
+
+# Region bands: anchor .. anchor + max slide + generous region size.
+_BAND_SLACK = ASLR_SLIDE_PAGES * PAGE_SIZE + (1 << 32)
+IMAGE_BAND = (TEXT_ANCHOR, TEXT_ANCHOR + _BAND_SLACK)
+HEAP_BAND = (HEAP_ANCHOR, HEAP_ANCHOR + _BAND_SLACK)
+STACK_BAND = (STACK_ANCHOR, STACK_ANCHOR + _BAND_SLACK)
+
+
+@dataclass
+class PointerClusters:
+    """Leaked words bucketed by apparent region, with source addresses."""
+
+    image: List[Tuple[int, int]] = field(default_factory=list)  # (addr, value)
+    heap: List[Tuple[int, int]] = field(default_factory=list)
+    stack: List[Tuple[int, int]] = field(default_factory=list)
+    other: List[Tuple[int, int]] = field(default_factory=list)
+
+    def heap_values(self) -> List[int]:
+        return [value for _, value in self.heap]
+
+    def image_values(self) -> List[int]:
+        return [value for _, value in self.image]
+
+
+def classify_word(value: int) -> str:
+    if IMAGE_BAND[0] <= value < IMAGE_BAND[1]:
+        return "image"
+    if HEAP_BAND[0] <= value < HEAP_BAND[1]:
+        return "heap"
+    if STACK_BAND[0] <= value < STACK_BAND[1]:
+        return "stack"
+    return "other"
+
+
+def cluster_pointers(words: Sequence[Tuple[int, int]]) -> PointerClusters:
+    """Bucket leaked ``(address, value)`` pairs by region band."""
+    clusters = PointerClusters()
+    for addr, value in words:
+        getattr(clusters, classify_word(value)).append((addr, value))
+    return clusters
+
+
+def cluster_by_gaps(values: Sequence[int], gap: int = 1 << 32) -> List[List[int]]:
+    """Pure value-range clustering: split sorted values at large gaps.
+
+    This is the AOCR paper's "statistical analysis of two pages of stack
+    values"; it needs no platform knowledge at all.  Returns clusters in
+    ascending value order.
+    """
+    if not values:
+        return []
+    arr = np.sort(np.asarray(list(values), dtype=np.uint64))
+    diffs = np.diff(arr)
+    split_points = np.nonzero(diffs > np.uint64(gap))[0] + 1
+    return [chunk.tolist() for chunk in np.split(arr, split_points)]

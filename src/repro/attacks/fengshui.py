@@ -1,0 +1,116 @@
+"""Heap-feng-shui-assisted AOCR (the Section 7.2.3 refinement).
+
+The paper concedes a smarter adversary than demonstrated AOCR:
+
+    "Alternatively, an attacker could try to identify events where BTDPs
+    do not mimic their benign counterparts accurately.  For example, by
+    performing heap feng shui an attacker might be able to identify
+    benign heap pointers with a known distance to each other.  Note,
+    however, that such an attack requires specific prerequisites and goes
+    significantly beyond the analysis steps of the demonstrated AOCR
+    attacks."
+
+This module implements exactly that refinement.  The victim's request
+handler allocates its request object and scratch buffer back to back, so
+the two benign heap pointers in one frame sit at a *build-constant
+distance* the attacker can read off their own copy's allocation pattern.
+BTDPs are random guard-page addresses: the chance that a BTDP pairs with
+another heap-cluster word at exactly that distance is negligible.  The
+attacker therefore filters the heap cluster down to distance-correlated
+pairs — benign with overwhelming probability — and dereferences only
+those, dodging the reactive component.
+
+What this buys, and what it does not (demonstrated by the tests): the
+feng-shui attacker avoids BTDP *detection* far more often than the
+demonstrated AOCR attack, but R2C's *data diversification* (shuffled,
+padded globals) still breaks the subsequent corruption step, so the
+attack fails quietly instead of succeeding — precisely the paper's
+"reduces attack surface considerably" framing rather than a bypass.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from repro.attacks.aocr import OBJECT_WINDOW, WORD
+from repro.attacks.clustering import classify_word, cluster_pointers
+from repro.attacks.scenario import AttackAborted, AttackResult, VictimSession, run_attack
+from repro.attacks.surface import AttackerView
+from repro.workloads.victim import ATTACK_ARG
+
+#: Pair distances (bytes) the attacker considers "groomed": derived from
+#: the victim's allocation pattern (object then scratch buffer), with the
+#: allocator's 16-byte header in between.  The attacker learns these from
+#: their own copy, not from the victim.
+GROOMED_DISTANCES = tuple(range(32, 129, 16))
+
+
+def find_groomed_pairs(
+    heap_values: List[int], distances: Tuple[int, ...] = GROOMED_DISTANCES
+) -> List[Tuple[int, int]]:
+    """Pairs of heap-cluster values at a groomed allocation distance."""
+    pairs = []
+    unique = sorted(set(heap_values))
+    for a, b in combinations(unique, 2):
+        if b - a in distances:
+            pairs.append((a, b))
+    return pairs
+
+
+def make_fengshui_hook(layout=None):
+    """AOCR with the feng-shui pointer filter in stage 2."""
+    from repro.workloads.victim import VictimLayoutInfo
+
+    if layout is None:
+        layout = VictimLayoutInfo()
+
+    def hook(view: AttackerView) -> None:
+        reference = view.reference
+
+        # Stage 1: profile and cluster, as in demonstrated AOCR.
+        clusters = cluster_pointers(view.leak_stack())
+        heap_values = clusters.heap_values()
+        if not heap_values:
+            raise AttackAborted("no heap-pointer cluster on the stack")
+
+        # Stage 2 (refined): only dereference distance-correlated pairs —
+        # BTDPs are random addresses and almost never pair up.
+        pairs = find_groomed_pairs(heap_values)
+        if not pairs:
+            raise AttackAborted("no groomed allocation pairs identified")
+
+        data_ptr: Optional[int] = None
+        for low, high in pairs[:4]:
+            for pointer in (low, high):
+                for index in range(OBJECT_WINDOW):
+                    word = view.read_word(pointer + index * WORD)
+                    if classify_word(word) == "image":
+                        data_ptr = word
+                        break
+                if data_ptr is not None:
+                    break
+            if data_ptr is not None:
+                break
+        if data_ptr is None:
+            raise AttackAborted("groomed objects held no data-section pointer")
+
+        # Stage 3: identical to demonstrated AOCR — and still at the mercy
+        # of global shuffling + padding.
+        data_base = data_ptr - reference.global_offset(layout.config_global)
+        admin_addr = data_base + reference.global_offset(layout.admin_table_global)
+        handler_addr = data_base + reference.global_offset(layout.handler_ptr_global)
+        param_addr = data_base + reference.global_offset(layout.default_param_global)
+        target = view.read_word(admin_addr)
+        handler_now = view.read_word(handler_addr)
+        if classify_word(target) != "image" or classify_word(handler_now) != "image":
+            raise AttackAborted("data-section offsets did not line up (diversified)")
+        view.write_word(handler_addr, target)
+        view.write_word(param_addr, ATTACK_ARG)
+
+    return hook
+
+
+def fengshui_attack(session: VictimSession, *, attacker_seed: int = 0) -> AttackResult:
+    hook = make_fengshui_hook(session.layout)
+    return run_attack(session, hook, "aocr-fengshui", attacker_seed=attacker_seed)

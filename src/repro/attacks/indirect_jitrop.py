@@ -1,0 +1,73 @@
+"""Indirect JIT-ROP: infer the code layout from leaked code pointers
+(Section 2.1: "inferring gadget locations from code pointers found on the
+stack, which is commonly referred to as indirect information disclosure").
+
+The attack never reads code.  It harvests every image-band word from the
+leaked stack window and *votes*: for each (leaked word, known call-site
+return offset) pair from the attacker's reference build, it hypothesizes a
+text base.  On a monoculture victim the true base collects one vote per
+genuine return address and wins decisively; the attacker then relocates
+the payload address and overwrites the innermost supporting word.
+
+R2C breaks every leg of this at once: most harvested words are BTRAs
+(bogus votes), NOP insertion shifts the victim's return offsets off the
+reference's, and function shuffling moves the payload.  With no consensus
+the attacker either gives up or (aggressive mode) gambles on a harvested
+pointer — which is a booby trap with probability R/(R+1) (Section 7.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.attacks.clustering import cluster_pointers
+from repro.attacks.scenario import AttackAborted, AttackResult, VictimSession, run_attack
+from repro.attacks.surface import AttackerView
+
+#: Minimum agreeing (word, offset) pairs to accept a base hypothesis.
+VOTE_THRESHOLD = 3
+
+
+def indirect_jitrop_attack(
+    session: VictimSession, *, attacker_seed: int = 0, aggressive: bool = True
+) -> AttackResult:
+    layout = session.layout
+
+    def hook(view: AttackerView) -> None:
+        reference = view.reference
+        leak = view.leak_stack()
+        clusters = cluster_pointers(leak)
+        if not clusters.image:
+            raise AttackAborted("no code pointers on the stack")
+
+        ret_offsets = reference.ret_offsets()
+        votes: Counter = Counter()
+        supporters: Dict[int, List[Tuple[int, int]]] = {}
+        for addr, value in clusters.image:
+            for offset in ret_offsets:
+                base = value - offset
+                if base <= 0:
+                    continue
+                votes[base] += 1
+                supporters.setdefault(base, []).append((addr, value))
+
+        base, count = votes.most_common(1)[0] if votes else (None, 0)
+        if count >= VOTE_THRESHOLD and base is not None:
+            target = base + reference.function_offset(layout.target_function)
+            ra_addr = min(addr for addr, _ in supporters[base])
+            view.write_word(ra_addr, target)
+            return
+
+        if not aggressive:
+            raise AttackAborted("no text-base consensus from leaked pointers")
+        # Desperation: treat a harvested code pointer as a return address
+        # into the function containing the payload in the reference layout
+        # and retarget relative to it.  Under R2C this picks a BTRA with
+        # probability R/(R+1).
+        addr, value = view.rng.choice(clusters.image)
+        guess_site = reference.ret_offsets()[0]
+        target = (value - guess_site) + reference.function_offset(layout.target_function)
+        view.write_word(addr, target)
+
+    return run_attack(session, hook, "indirect-jitrop", attacker_seed=attacker_seed)

@@ -1,0 +1,66 @@
+"""Direct JIT-ROP: disclose the code layout at run time (Section 2.1).
+
+The attack follows a code pointer from the stack into the text section,
+reads/disassembles that page, and — exactly like the original JIT-ROP —
+*recursively* follows the direct call/jump targets it finds in the
+disclosed code to map out more pages, until it locates its payload.  Then
+it redirects the leaked return address into the payload.
+
+This is the attack execute-only memory exists to stop: against an R2C (or
+any XoM) victim the very first code read faults.  Against a victim mapped
+readable (``execute_only=False``) it succeeds *even under full code-layout
+randomization* — the JIT-ROP observation that randomization without
+leakage resilience is ineffective.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.clustering import classify_word, cluster_pointers
+from repro.attacks.scenario import AttackAborted, AttackResult, VictimSession, run_attack
+from repro.attacks.surface import AttackerView
+from repro.machine.isa import Imm, Op
+from repro.machine.memory import PAGE_SIZE
+from repro.workloads.victim import SUCCESS_TAG
+
+_BRANCH_OPS = {Op.CALL, Op.JMP, Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE}
+
+
+def jitrop_attack(session: VictimSession, *, attacker_seed: int = 0) -> AttackResult:
+    def hook(view: AttackerView) -> None:
+        leak = view.leak_stack()
+        clusters = cluster_pointers(leak)
+        if not clusters.image:
+            raise AttackAborted("no code pointer on the stack")
+        # Recursive page harvesting: disclose the pages the leaked image
+        # pointers land in (some are data-section pointers — same value
+        # band — whose pages simply yield no code), mine the disclosed
+        # code for direct branch targets, repeat.
+        pending = [value & ~(PAGE_SIZE - 1) for _, value in clusters.image]
+        visited = set()
+        payload_addr = None
+        while pending and payload_addr is None and len(visited) < 64:
+            page = pending.pop()
+            if page in visited:
+                continue
+            visited.add(page)
+            for addr, instr in view.disassemble(page, PAGE_SIZE):
+                for operand in (instr.a, instr.b):
+                    if isinstance(operand, Imm):
+                        if operand.value == SUCCESS_TAG:
+                            payload_addr = addr
+                        elif (
+                            instr.op in _BRANCH_OPS
+                            and classify_word(operand.value) == "image"
+                        ):
+                            target_page = operand.value & ~(PAGE_SIZE - 1)
+                            if target_page not in visited:
+                                pending.append(target_page)
+        if payload_addr is None:
+            raise AttackAborted("payload signature not found in disclosed code")
+        # Spray the payload address over every code-pointer-looking stack
+        # slot: one of them is the live return address (the others are
+        # dead spills — or, under R2C, BTRAs that nothing ever returns to).
+        for slot_addr, _ in clusters.image:
+            view.write_word(slot_addr, payload_addr)
+
+    return run_attack(session, hook, "jitrop", attacker_seed=attacker_seed)

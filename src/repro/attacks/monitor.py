@@ -1,0 +1,59 @@
+"""Defense-side monitor: classifies faults as detections or plain crashes.
+
+The reactive component of R2C (Section 4.2: "Dereferencing a BTDP causes an
+immediate fault, giving defenders a way to respond to an ongoing attack")
+is modelled here: :class:`GuardPageFault` and :class:`BoobyTrapTriggered`
+are *detections* — a monitoring system would alert, ban the source, or
+re-randomize — while ordinary memory faults are crashes a restarting
+worker pool would paper over (the Blind ROP observation of Section 4.1).
+
+``detection_budget`` models the defender's response threshold: once an
+attack campaign has caused that many detections, the campaign is treated
+as stopped (outcome DETECTED) even if the attacker had probes left.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    BoobyTrapTriggered,
+    GuardPageFault,
+    MachineError,
+    MemoryFault,
+    ShadowStackViolation,
+)
+
+
+class DefenseMonitor:
+    """Counts and classifies defense-relevant events for one campaign."""
+
+    def __init__(self, detection_budget: int = 3):
+        self.detection_budget = detection_budget
+        self.detections = 0
+        self.crashes = 0
+        self.btdp_hits = 0
+        self.booby_trap_hits = 0
+        self.shadow_stack_hits = 0
+
+    def classify(self, exc: MachineError) -> str:
+        """Record ``exc``; return "detected" or "crashed"."""
+        if isinstance(exc, GuardPageFault):
+            self.detections += 1
+            self.btdp_hits += 1
+            return "detected"
+        if isinstance(exc, BoobyTrapTriggered):
+            self.detections += 1
+            self.booby_trap_hits += 1
+            return "detected"
+        if isinstance(exc, ShadowStackViolation):
+            self.detections += 1
+            self.shadow_stack_hits += 1
+            return "detected"
+        if isinstance(exc, (MemoryFault, MachineError)):
+            self.crashes += 1
+            return "crashed"
+        raise exc  # not a machine-level event; programming error
+
+    @property
+    def tripped(self) -> bool:
+        """True once the defender's detection threshold has been reached."""
+        return self.detections >= self.detection_budget

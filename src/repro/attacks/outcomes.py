@@ -1,0 +1,47 @@
+"""Attack outcome classification."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class AttackOutcome(enum.Enum):
+    """How an attack run ended."""
+
+    #: The attacker's goal was reached (target_exec ran under attacker control).
+    SUCCESS = "success"
+    #: A booby trap (BTRA target, prolog trap) or BTDP guard page fired —
+    #: the defender *observed* the attack (the reactive component).
+    DETECTED = "detected"
+    #: The victim crashed without tripping a trap (plain segfault etc.).
+    CRASHED = "crashed"
+    #: The attack gave up (no usable leak, no consensus, budget exhausted)
+    #: and the victim kept running normally.
+    FAILED = "failed"
+
+
+@dataclass
+class AttackResult:
+    """Result of one attack campaign against one victim instance."""
+
+    attack: str
+    outcome: AttackOutcome
+    probes: int = 0  # processes consumed (1 for single-shot attacks)
+    detections: int = 0  # booby-trap / guard-page firings observed
+    crashes: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is AttackOutcome.SUCCESS
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.attack}: {self.outcome.value}"
+            f" (probes={self.probes}, detections={self.detections}, crashes={self.crashes})"
+        )

@@ -1,0 +1,80 @@
+"""Position-Independent code Reuse — partial pointer corruption
+(Section 7.2.5, following Goktas et al.).
+
+PIROP needs *no* information leak: ASLR slides regions by whole pages, so
+the low 12 bits of every code address are build constants the attacker
+read off their own copy.  Overwriting only the low two bytes of a return
+address retargets it within the text segment, with a 4-bit guess for the
+page nibble above the ASLR-invariant bits (16 restart probes).
+
+Against the monoculture baseline this succeeds.  R2C impedes PIROP on
+three independent axes, all exercised here:
+
+* the return address's *location* in the frame is no longer a build
+  constant (BTRA pre/post offsets + slot shuffling), so the attacker must
+  spray the partial overwrite across every candidate slot — "a PIROP
+  attack needs to corrupt all return addresses";
+* function shuffling + prolog traps change the low-bit offsets of the
+  payload, so the reference's low 16 bits land in diversified code —
+  usually a booby trap (detection) or an instruction-boundary fault;
+* corrupted BTRAs that the attacker sprays are themselves harmless, but
+  any probe that detonates a trap counts against the detection budget.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.outcomes import AttackOutcome, AttackResult
+from repro.attacks.scenario import VictimSession
+from repro.attacks.surface import AttackerView
+from repro.attacks.clustering import classify_word
+
+WORD = 8
+
+
+def pirop_attack(
+    session: VictimSession,
+    *,
+    attacker_seed: int = 0,
+    spray_window_words: int = 48,
+    max_probes: int = 64,
+) -> AttackResult:
+    layout = session.layout
+    result = AttackResult(attack="pirop", outcome=AttackOutcome.FAILED)
+    reference = session.reference
+
+    # Build-constant knowledge from the attacker's own copy: the payload's
+    # ASLR-invariant low 12 bits, and the expected RA slot offset.
+    target_offset = reference.function_offset(layout.target_function)
+    frames = reference.stack_map_from_hook(layout.hook_chain)
+    expected_ra = frames[0].ra_slot
+
+    for nibble in range(16):
+        if result.probes >= max_probes:
+            break
+        if session.monitor.tripped:
+            result.outcome = AttackOutcome.DETECTED
+            result.note("detection budget tripped while spraying")
+            break
+        low16 = ((target_offset & 0xFFF) | (nibble << 12)) & 0xFFFF
+
+        def spray_hook(view: AttackerView, low=low16) -> None:
+            # Corrupt the expected slot and, because diversified victims
+            # move the RA, every code-pointer-looking word in a window
+            # around it ("corrupt all return addresses").
+            view.write_low_bytes(view.rsp + expected_ra, low, 2)
+            for addr, word in view.leak_stack(spray_window_words * WORD):
+                if classify_word(word) == "image":
+                    view.write_low_bytes(addr, low, 2)
+
+        status, _ = session.probe(spray_hook, attacker_seed=attacker_seed)
+        result.probes += 1
+        if status == "success":
+            result.outcome = AttackOutcome.SUCCESS
+            result.note(f"page nibble {nibble:#x} hit the payload")
+            break
+
+    result.detections = session.monitor.detections
+    result.crashes = session.monitor.crashes
+    if result.outcome is AttackOutcome.FAILED and session.monitor.tripped:
+        result.outcome = AttackOutcome.DETECTED
+    return result

@@ -1,0 +1,177 @@
+"""Victim sessions and the attack execution harness.
+
+A :class:`VictimSession` wraps one deployed victim: a binary compiled under
+the defense configuration being evaluated, plus the attacker's *reference*
+build of the same source (their own copy of the software).  ``spawn``
+starts a worker process; respawns reuse the same ASLR seed, modelling the
+fork-server/worker-restart behaviour Blind ROP exploits ("some servers
+restart crashed worker processes without reloading their binary code
+images", Section 4).
+
+:func:`run_attack` executes a single-shot attack: it arms the victim's
+``attack_hook`` vulnerability with the attack function, runs the victim,
+and classifies the outcome.  Multi-probe attacks (Blind ROP, PIROP) drive
+:meth:`VictimSession.probe` in their own loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.attacks.monitor import DefenseMonitor
+from repro.attacks.outcomes import AttackOutcome, AttackResult
+from repro.attacks.surface import AttackerView, ReferenceKnowledge
+from repro.core.compiler import compile_module
+from repro.core.config import R2CConfig
+from repro.errors import MachineError
+from repro.machine.cpu import CPU, ExecutionResult
+from repro.machine.costs import get_costs
+from repro.machine.loader import load_binary
+from repro.rng import DiversityRng
+from repro.toolchain.ir import Module
+from repro.workloads.victim import ATTACK_ARG, SUCCESS_TAG, VictimLayoutInfo, build_victim
+
+AttackFn = Callable[[AttackerView], None]
+
+
+class AttackAborted(Exception):
+    """Raised by attack code to give up cleanly (no leak, no consensus).
+
+    The victim keeps running normally; the outcome becomes FAILED unless
+    the corruption already performed reaches the goal anyway.
+    """
+
+
+def output_success(output, *, require_arg: bool = False) -> bool:
+    """Did target_exec run under attacker control?"""
+    for word in output:
+        if word & 0xFFFF_0000 == SUCCESS_TAG:
+            if not require_arg or word == (SUCCESS_TAG | ATTACK_ARG):
+                return True
+    return False
+
+
+class VictimSession:
+    """One deployed victim + the attacker's reference knowledge."""
+
+    def __init__(
+        self,
+        config: R2CConfig,
+        *,
+        module: Optional[Module] = None,
+        build_seed: Optional[int] = None,
+        load_seed: int = 0xC0FFEE,
+        execute_only: bool = True,
+        detection_budget: int = 3,
+        layout_info: Optional[VictimLayoutInfo] = None,
+        rerandomize_on_restart: bool = False,
+        shadow_stack: bool = False,
+    ):
+        if build_seed is not None:
+            config = config.replace(seed=build_seed)
+        self.config = config
+        self.module = module if module is not None else build_victim()
+        self.layout = layout_info if layout_info is not None else VictimLayoutInfo()
+        self.load_seed = load_seed
+        self.execute_only = execute_only
+        # Section 7.3's proposed mitigation for the residual brute-force
+        # surface: re-randomize at (re)load time, so no two probes see the
+        # same layout.
+        self.rerandomize_on_restart = rerandomize_on_restart
+        self.shadow_stack = shadow_stack
+        self._spawn_count = 0
+        self.binary = compile_module(self.module, config)
+        # The attacker's own copy: identical software, independently built.
+        # Without diversification the builds are bit-identical (the
+        # monoculture); with diversification the attacker's copy rolled
+        # different dice.
+        reference_config = (
+            config.replace(seed=config.seed + 0x5EED) if config.any_diversification else config
+        )
+        self.reference = ReferenceKnowledge(compile_module(self.module, reference_config))
+        self.monitor = DefenseMonitor(detection_budget=detection_budget)
+
+    # -- process management ------------------------------------------------------
+
+    def spawn(self) -> Tuple[object, CPU]:
+        """Start a worker.
+
+        Default: same image, same ASLR — a forked worker restarting
+        "without reloading their binary code images" (Section 4).  With
+        ``rerandomize_on_restart`` every spawn re-randomizes the layout
+        (the Section 7.3 mitigation), which breaks cross-probe inference.
+        """
+        seed = self.load_seed
+        if self.rerandomize_on_restart:
+            seed += self._spawn_count
+        self._spawn_count += 1
+        process = load_binary(self.binary, seed=seed, execute_only=self.execute_only)
+        cpu = CPU(
+            process,
+            get_costs("epyc-rome"),
+            instruction_budget=5_000_000,
+            shadow_stack=self.shadow_stack,
+        )
+        return process, cpu
+
+    def probe(
+        self, hook: AttackFn, *, attacker_seed: int = 0
+    ) -> Tuple[str, Optional[ExecutionResult]]:
+        """One attack probe: spawn, arm the hook, run to completion.
+
+        Returns (status, result): status is "success", "clean" (ran to
+        exit without reaching the goal), "detected", or "crashed".
+        """
+        process, cpu = self.spawn()
+        fired = {}
+
+        def service(proc, running_cpu):
+            if fired:
+                return 0
+            fired["yes"] = True
+            view = AttackerView(
+                proc,
+                running_cpu,
+                self.reference,
+                rng=DiversityRng(attacker_seed).child("attacker"),
+            )
+            try:
+                hook(view)
+            except AttackAborted:
+                pass  # the attacker gave up; the victim continues untouched
+            return 0
+
+        process.register_service("attack_hook", service)
+        try:
+            result = cpu.run()
+        except MachineError as exc:
+            # Payload-then-crash still counts: the attacker's code ran.
+            if output_success(process.output):
+                self.monitor.classify(exc)
+                return "success", None
+            status = self.monitor.classify(exc)
+            return status, None
+        return ("success" if output_success(result.output) else "clean"), result
+
+
+def run_attack(
+    session: VictimSession,
+    attack_fn: AttackFn,
+    name: str,
+    *,
+    attacker_seed: int = 0,
+) -> AttackResult:
+    """Run a single-shot attack and classify its outcome."""
+    result = AttackResult(attack=name, outcome=AttackOutcome.FAILED, probes=1)
+    status, _ = session.probe(attack_fn, attacker_seed=attacker_seed)
+    result.detections = session.monitor.detections
+    result.crashes = session.monitor.crashes
+    if status == "success":
+        result.outcome = AttackOutcome.SUCCESS
+    elif status == "detected":
+        result.outcome = AttackOutcome.DETECTED
+    elif status == "crashed":
+        result.outcome = AttackOutcome.CRASHED
+    else:
+        result.outcome = AttackOutcome.FAILED
+    return result

@@ -1,0 +1,186 @@
+"""The attacker's capabilities and knowledge.
+
+:class:`AttackerView` is the only interface attack code has to the victim
+process.  It grants exactly the Section 3 threat model:
+
+* an arbitrary read/write primitive (the assumed memory-corruption bug) —
+  reads go through the MMU, so execute-only text is unreadable and BTDP
+  guard pages fault;
+* deterministic stack-frame leakage (Malicious Thread Blocking): the
+  attacker can read the blocked thread's stack extent, including the
+  current stack-pointer value;
+* attacker-side randomness, independent of the victim's seeds.
+
+:class:`ReferenceKnowledge` is what the attacker learned from *their own
+copy* of the software — offsets of globals and functions, call-site
+return offsets, frame geometry.  Against an undiversified victim this
+knowledge transfers exactly (the software monoculture); against an R2C
+victim the attacker's copy was diversified differently, so the knowledge
+is structurally right but numerically wrong — which is the entire point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.machine.isa import Reg
+from repro.machine.memory import WORD_BYTES
+from repro.machine.process import Process
+from repro.rng import DiversityRng
+from repro.toolchain.binary import Binary
+
+WORD = WORD_BYTES
+
+
+@dataclass
+class FrameGeometry:
+    """Offsets (bytes, relative to rsp at the hook) for one stack frame."""
+
+    function: str
+    frame_base: int  # where the frame's slots start
+    ra_slot: int  # where the return address of this frame lives
+    slots: Dict[str, int]  # absolute-from-rsp offsets of named slots
+    pre_words: int  # BTRAs above the RA (from the caller's call site)
+    cleanup_words: int
+
+
+class ReferenceKnowledge:
+    """Layout knowledge extracted from the attacker's own build."""
+
+    def __init__(self, binary: Binary):
+        self.binary = binary
+
+    # -- data section --------------------------------------------------------
+
+    def global_offset(self, name: str) -> int:
+        return self.binary.symbols_data[name]
+
+    def has_global(self, name: str) -> bool:
+        return name in self.binary.symbols_data
+
+    # -- text section -----------------------------------------------------------
+
+    def function_offset(self, name: str) -> int:
+        return self.binary.symbols_text[name]
+
+    def ret_offsets(self) -> List[int]:
+        """Text offsets of all call-site return points (from disassembly)."""
+        return sorted(self.binary.callsite_records)
+
+    # -- stack geometry ------------------------------------------------------------
+
+    def stack_map_from_hook(self, chain: Sequence[str]) -> List[FrameGeometry]:
+        """Frame geometry at the attack hook, innermost frame first.
+
+        ``chain`` lists the active functions innermost-first (the attacker
+        knows the vulnerable code path of their own copy).  Walks the
+        frames exactly as they are laid out by this build: frame, BTRA
+        post-offset, return address, pre-offset BTRAs, stack-arg cleanup.
+        """
+        frames: List[FrameGeometry] = []
+        cursor = 0  # byte offset from rsp at the hook
+        for index, name in enumerate(chain):
+            record = self.binary.frame_records[name]
+            slots = {
+                slot: cursor + offset for slot, offset in record.slot_offsets.items()
+            }
+            ra_slot = cursor + record.frame_bytes + WORD * record.post_offset
+            pre_words = 0
+            cleanup_words = 0
+            if index + 1 < len(chain):
+                caller = chain[index + 1]
+                site = self._find_callsite(caller, name)
+                if site is not None:
+                    pre_words = site.pre_words
+                    cleanup_words = site.cleanup_words
+            frames.append(
+                FrameGeometry(
+                    function=name,
+                    frame_base=cursor,
+                    ra_slot=ra_slot,
+                    slots=slots,
+                    pre_words=pre_words,
+                    cleanup_words=cleanup_words,
+                )
+            )
+            cursor = ra_slot + WORD + WORD * (pre_words + cleanup_words)
+        return frames
+
+    def _find_callsite(self, caller: str, callee: str):
+        for record in self.binary.callsite_records.values():
+            if record.caller == caller and record.callee == callee:
+                return record
+        # Indirect call: fall back to any indirect site in the caller.
+        for record in self.binary.callsite_records.values():
+            if record.caller == caller and record.callee is None:
+                return record
+        return None
+
+
+class AttackerView:
+    """The attacker's runtime interface to a victim process."""
+
+    def __init__(
+        self,
+        process: Process,
+        cpu,
+        reference: ReferenceKnowledge,
+        *,
+        rng: Optional[DiversityRng] = None,
+    ):
+        self._process = process
+        self._memory = process.memory
+        self.reference = reference
+        self.rng = rng if rng is not None else DiversityRng(0xA77AC8)
+        #: The blocked thread's stack pointer (Malicious Thread Blocking).
+        self.rsp = cpu.regs[Reg.RSP]
+        self._stack_end = process.layout.stack_base + process.layout.stack_size
+
+    # -- read/write primitive (faults propagate: a bad access kills the run) --
+
+    def read_word(self, address: int) -> int:
+        return self._memory.read_word(address)
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        return self._memory.read(address, size)
+
+    def write_word(self, address: int, value: int) -> None:
+        self._memory.write_word(address, value)
+
+    def write_low_bytes(self, address: int, value: int, nbytes: int) -> None:
+        """Partial pointer overwrite (the PIROP primitive, Section 7.2.5)."""
+        data = (value & ((1 << (8 * nbytes)) - 1)).to_bytes(nbytes, "little")
+        self._memory.write(address, data)
+
+    def disassemble(self, start: int, size: int) -> List[Tuple[int, object]]:
+        """Read and decode a code range (the JIT-ROP primitive).
+
+        Goes through the MMU like any data read: execute-only text makes
+        this fault, which is the leakage-resilience baseline R2C builds on.
+        """
+        self._memory.read(start, size)  # permission check + fault semantics
+        instructions = self._process.instructions
+        found = [
+            (address, instructions[address])
+            for address in instructions
+            if start <= address < start + size
+        ]
+        found.sort(key=lambda pair: pair[0])
+        return found
+
+    # -- threat-model grants ------------------------------------------------------
+
+    def leak_stack(self, max_bytes: int = 2 * 4096) -> List[Tuple[int, int]]:
+        """Leak the blocked thread's stack: [rsp, min(rsp+max, stack top)).
+
+        Section 3: "we assume that the attacker can deterministically leak
+        stack frames (e.g., with the help of Malicious Thread Blocking)".
+        The thread's stack extent is part of that grant; everything else
+        still goes through the MMU.
+        """
+        end = min(self.rsp + max_bytes, self._stack_end)
+        words = []
+        for address in range(self.rsp, end, WORD):
+            words.append((address, self._memory.read_word(address)))
+        return words

@@ -1,0 +1,14 @@
+"""The R2C defense: configuration, diversification passes, runtime, compiler."""
+
+from repro.core.config import R2CConfig
+from repro.core.compiler import R2CCompiler, compile_module
+from repro.core.pass_manager import build_plan
+from repro.core.runtime import make_btdp_constructor
+
+__all__ = [
+    "R2CConfig",
+    "R2CCompiler",
+    "compile_module",
+    "build_plan",
+    "make_btdp_constructor",
+]

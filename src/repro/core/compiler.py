@@ -1,0 +1,63 @@
+"""The R2C compiler facade: module + config -> linked binary.
+
+This is the package's main entry point, standing in for the modified
+LLVM of Section 5::
+
+    from repro import R2CConfig, compile_module
+    binary = compile_module(module, R2CConfig.full(seed=42))
+
+The input module is never mutated; each compilation works on a deep copy
+(padding globals, BTDP globals and booby-trap functions are build
+artifacts, not source).  Recompiling with a different seed produces a
+differently diversified binary from identical source — the paper's
+per-run recompilation methodology (Section 6.2).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.core.config import R2CConfig
+from repro.core.pass_manager import build_plan
+from repro.core.runtime import make_btdp_constructor
+from repro.toolchain.binary import Binary
+from repro.toolchain.ir import Module
+from repro.toolchain.linker import link_module
+from repro.toolchain.opt import optimize_module
+
+
+class R2CCompiler:
+    """Compiles IR modules under a fixed :class:`R2CConfig`."""
+
+    def __init__(self, config: Optional[R2CConfig] = None):
+        self.config = config if config is not None else R2CConfig.baseline()
+
+    def compile(
+        self, module: Module, *, entry: str = "main", name: Optional[str] = None
+    ) -> Binary:
+        working = copy.deepcopy(module)
+        if self.config.opt_level:
+            optimize_module(working, self.config.opt_level)
+        plan, disabled = build_plan(working, self.config)
+        binary = link_module(working, plan, entry=entry, name=name or module.name)
+        if self.config.enable_btdp:
+            binary.constructors.append(make_btdp_constructor(self.config))
+        binary.metadata["config"] = self.config
+        binary.metadata["r2c_disabled_functions"] = sorted(disabled)
+        return binary
+
+    def with_seed(self, seed: int) -> "R2CCompiler":
+        """A compiler identical to this one but reseeded."""
+        return R2CCompiler(self.config.replace(seed=seed))
+
+
+def compile_module(
+    module: Module,
+    config: Optional[R2CConfig] = None,
+    *,
+    entry: str = "main",
+    name: Optional[str] = None,
+) -> Binary:
+    """One-shot convenience wrapper around :class:`R2CCompiler`."""
+    return R2CCompiler(config).compile(module, entry=entry, name=name)

@@ -1,0 +1,204 @@
+"""R2C configuration: every diversification knob of the paper.
+
+The named constructors mirror the configurations of the evaluation:
+
+* :meth:`R2CConfig.baseline` — same compiler, R2C disabled (Section 6.2).
+* :meth:`R2CConfig.full` — all protections on (Figure 6).
+* :meth:`R2CConfig.btra_push_only` / :meth:`R2CConfig.btra_avx_only` —
+  the BTRA component rows of Table 1 ("10 BTRAs and between 1 and 9
+  NOPs", Section 6.2.1).
+* :meth:`R2CConfig.btdp_only` — the BTDP row ("between zero and five
+  BTDPs per function", Section 6.2.2).
+* :meth:`R2CConfig.prolog_only` / :meth:`R2CConfig.layout_only` — the
+  Prolog and Layout rows (Section 6.2.3).
+* :meth:`R2CConfig.oia_only` — offset-invariant addressing in isolation
+  (Section 6.2.1: 0.79% geomean / 3.61% max).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class R2CConfig:
+    """Immutable diversification configuration for one compilation."""
+
+    seed: int = 0
+
+    #: IR optimization level (0 = none, 1 = fold/DCE pipeline).  Applied
+    #: identically to baseline and protected builds, like the paper's -O3.
+    opt_level: int = 0
+
+    # ---- BTRAs (Sections 4.1, 5.1) ----
+    enable_btra: bool = False
+    btra_mode: str = "avx"  # "push" | "avx"
+    #: 4 = 256-bit AVX2 batches; 8 = 512-bit AVX-512 batches (Section 7.1:
+    #: "we could either half the BTRA performance impact, or use twice as
+    #: many BTRAs").
+    btra_vector_words: int = 4
+    btras_per_callsite: int = 10  # total booby-trapped return addresses per site
+    max_post_offset: int = 3  # callee-side post-offset is drawn from 1..max
+    btras_for_unprotected_calls: bool = False  # the worst-case measurement mode
+
+    # ---- BTDPs (Sections 4.2, 5.2) ----
+    enable_btdp: bool = False
+    btdp_min_per_function: int = 0
+    btdp_max_per_function: int = 5
+    btdp_guard_pages: int = 16  # pages kept protected on the heap
+    btdp_overallocate_factor: int = 3  # chunks allocated before the random keep
+    btdp_array_len: int = 64  # entries in the BTDP pointer array
+    btdp_hardened: bool = True  # Figure 5: array on heap behind one pointer
+    btdp_decoys_in_data: int = 4  # extra BTDPs placed in the data section
+    btdp_skip_stackless: bool = True  # skip functions without stack objects
+
+    # ---- code randomization (Section 4.3) ----
+    enable_nop_insertion: bool = False
+    nops_min: int = 1
+    nops_max: int = 9
+    enable_prolog_traps: bool = False
+    prolog_traps_min: int = 1
+    prolog_traps_max: int = 5
+    enable_stack_slot_shuffle: bool = False
+    enable_regalloc_shuffle: bool = False
+
+    # ---- layout randomization ----
+    enable_function_shuffle: bool = False
+    #: Inject booby-trap functions even without BTRAs (Readactor-style
+    #: reactive traps, used by the Table 3 defense models).
+    booby_traps_standalone: bool = False
+    #: Code-pointer hiding (Section 2.2, the Readactor mechanism): route
+    #: observable function pointers through execute-only trampolines.  A
+    #: related-work feature used by the Table 3 defense models; R2C itself
+    #: does not need it (and AOCR bypasses it, which Table 3 demonstrates).
+    enable_cph: bool = False
+    booby_trap_count: int = 32  # booby-trap functions scattered in text
+    booby_trap_min_size: int = 8
+    booby_trap_max_size: int = 48
+    enable_global_shuffle: bool = False
+    global_padding_min: int = 0
+    global_padding_max: int = 4  # words of random padding between globals
+
+    # ---- stack arguments ----
+    # None = automatic (OIA in force exactly when BTRAs are on); True
+    # forces it on for the isolated OIA measurement of Section 6.2.1.
+    offset_invariant_addressing: Optional[bool] = None
+
+    # ---- deliberately weakened variants (ablation studies ONLY) ----
+    #: Draw one BTRA set per *callee* and reuse it at every call site —
+    #: violating return-address property (C) of Section 4.1.  Two leaked
+    #: call sites to the same callee then differ only in the return
+    #: address, which a differencing attack isolates.
+    unsafe_callee_btras: bool = False
+    #: Push only the pre-BTRAs and let the call instruction append the
+    #: return address afterwards, re-opening the race window Section 5.1
+    #: closes ("the attacker could learn the return address by observing
+    #: the stack right before and after the call instruction").
+    unsafe_racy_btras: bool = False
+    #: Point BTDPs at ordinary readable heap pages instead of guard pages
+    #: — dereferencing one is then silent, and AOCR's heap walk proceeds
+    #: (ablating the reactive component of Section 4.2).
+    unsafe_btdp_no_guard: bool = False
+    #: Verify a random BTRA for consistency after each call returns and
+    #: detonate on mismatch — the hardening proposed in Section 7.3
+    #: against return-address corruption ("R2C could also deter the
+    #: corruption of BTRAs by checking a random subset of BTRAs for
+    #: consistency after the return").
+    btra_integrity_check: bool = False
+
+    def replace(self, **changes) -> "R2CConfig":
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def oia_in_force(self) -> bool:
+        if self.offset_invariant_addressing is not None:
+            return self.offset_invariant_addressing
+        return self.enable_btra
+
+    @property
+    def any_diversification(self) -> bool:
+        return (
+            self.enable_btra
+            or self.enable_btdp
+            or self.enable_nop_insertion
+            or self.enable_prolog_traps
+            or self.enable_stack_slot_shuffle
+            or self.enable_regalloc_shuffle
+            or self.enable_function_shuffle
+            or self.enable_global_shuffle
+            or self.oia_in_force
+        )
+
+    # ---- named configurations of the evaluation -------------------------------
+
+    @classmethod
+    def baseline(cls, seed: int = 0) -> "R2CConfig":
+        return cls(seed=seed)
+
+    @classmethod
+    def full(cls, seed: int = 0, *, btra_mode: str = "avx") -> "R2CConfig":
+        """All R2C protections enabled (the Figure 6 configuration)."""
+        return cls(
+            seed=seed,
+            enable_btra=True,
+            btra_mode=btra_mode,
+            btras_for_unprotected_calls=True,
+            enable_btdp=True,
+            enable_nop_insertion=True,
+            enable_prolog_traps=True,
+            enable_stack_slot_shuffle=True,
+            enable_regalloc_shuffle=True,
+            enable_function_shuffle=True,
+            enable_global_shuffle=True,
+        )
+
+    @classmethod
+    def btra_push_only(cls, seed: int = 0) -> "R2CConfig":
+        """Table 1 'Push' row: BTRAs + call-site NOPs, push setup sequence."""
+        return cls(
+            seed=seed,
+            enable_btra=True,
+            btra_mode="push",
+            btras_for_unprotected_calls=True,
+            enable_nop_insertion=True,
+        )
+
+    @classmethod
+    def btra_avx_only(cls, seed: int = 0) -> "R2CConfig":
+        """Table 1 'AVX' row: BTRAs + call-site NOPs, AVX2 setup sequence."""
+        return cls(
+            seed=seed,
+            enable_btra=True,
+            btra_mode="avx",
+            btras_for_unprotected_calls=True,
+            enable_nop_insertion=True,
+        )
+
+    @classmethod
+    def btdp_only(cls, seed: int = 0) -> "R2CConfig":
+        """Table 1 'BTDP' row."""
+        return cls(seed=seed, enable_btdp=True)
+
+    @classmethod
+    def prolog_only(cls, seed: int = 0) -> "R2CConfig":
+        """Table 1 'Prolog' row: trap insertion in function prologs."""
+        return cls(seed=seed, enable_prolog_traps=True)
+
+    @classmethod
+    def layout_only(cls, seed: int = 0) -> "R2CConfig":
+        """Table 1 'Layout' row: stack slot, global and register shuffling
+        plus function reordering."""
+        return cls(
+            seed=seed,
+            enable_stack_slot_shuffle=True,
+            enable_regalloc_shuffle=True,
+            enable_function_shuffle=True,
+            enable_global_shuffle=True,
+        )
+
+    @classmethod
+    def oia_only(cls, seed: int = 0) -> "R2CConfig":
+        """Offset-invariant addressing alone (Section 6.2.1)."""
+        return cls(seed=seed, offset_invariant_addressing=True)

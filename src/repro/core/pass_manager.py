@@ -1,0 +1,73 @@
+"""The diversification pipeline: config + module -> ModulePlan.
+
+Pass order matters only where a pass consumes another's output (BTRA needs
+the booby-trap pool; global shuffle must see the BTDP globals).  Random
+decisions are order-independent by construction: every pass draws from its
+own labelled child stream of the build seed.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.core.config import R2CConfig
+from repro.core.passes.booby_traps import inject_booby_traps
+from repro.core.passes.btdp import plan_btdps
+from repro.core.passes.btra import find_oia_incompatible, plan_btras
+from repro.core.passes.cph import plan_cph
+from repro.core.passes.function_shuffle import plan_function_order
+from repro.core.passes.global_shuffle import plan_global_order
+from repro.core.passes.nop_insertion import plan_nops
+from repro.core.passes.prolog_traps import plan_prolog_traps
+from repro.core.passes.regalloc_shuffle import plan_regalloc_shuffle
+from repro.core.passes.stack_slot_shuffle import plan_slot_shuffle
+from repro.rng import DiversityRng
+from repro.toolchain.ir import Module
+from repro.toolchain.plan import FunctionPlan, ModulePlan
+
+
+def build_plan(module: Module, config: R2CConfig) -> Tuple[ModulePlan, Set[str]]:
+    """Run all enabled passes; return (plan, r2c-disabled function names).
+
+    ``module`` may be mutated (padding globals, BTDP globals are added);
+    the compiler facade works on a copy of the caller's module.
+    """
+    rng = DiversityRng(config.seed)
+    plan = ModulePlan()
+    plan.btras_for_unprotected_calls = config.btras_for_unprotected_calls
+    plan.oia_enabled = config.oia_in_force
+    plan.vector_words = config.btra_vector_words
+    for name in module.functions:
+        plan.functions[name] = FunctionPlan()
+
+    # Section 7.4.2: protected stack-arg functions with unprotected direct
+    # callers cannot use offset-invariant addressing — R2C is disabled for
+    # them, exactly as the paper patched WebKit and Chromium.
+    disabled: Set[str] = find_oia_incompatible(module) if config.oia_in_force else set()
+
+    if config.oia_in_force:
+        for name, fn in module.functions.items():
+            if fn.protected and name not in disabled:
+                plan.functions[name].offset_invariant_args = True
+
+    if config.enable_btra or config.booby_traps_standalone:
+        inject_booby_traps(config, rng, plan)
+    if config.enable_btra:
+        plan_btras(module, config, rng, plan, disabled)
+    if config.enable_nop_insertion:
+        plan_nops(module, config, rng, plan, disabled)
+    if config.enable_prolog_traps:
+        plan_prolog_traps(module, config, rng, plan, disabled)
+    if config.enable_stack_slot_shuffle:
+        plan_slot_shuffle(module, config, rng, plan, disabled)
+    if config.enable_regalloc_shuffle:
+        plan_regalloc_shuffle(module, config, rng, plan, disabled)
+    if config.enable_btdp:
+        plan_btdps(module, config, rng, plan, disabled)
+    if config.enable_cph:
+        plan_cph(module, config, rng, plan)
+    if config.enable_global_shuffle:
+        plan_global_order(module, config, rng, plan)
+    plan_function_order(module, config, rng, plan)
+
+    return plan, disabled

@@ -1,0 +1,37 @@
+"""R2C diversification passes.
+
+Each pass inspects the module and records decisions in the
+:class:`~repro.toolchain.plan.ModulePlan` (or adds module-level artifacts
+such as padding globals and the BTDP source global).  Passes draw their
+randomness from labelled child streams of the build seed, so they are
+independent of each other and of pass order.
+
+Shared helper: :func:`call_sites` enumerates the diversifiable call sites
+of a function in exactly the order the code generator lowers them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.toolchain.ir import Function, IRInstr
+from repro.toolchain.plan import CallSitePlan, FunctionPlan
+
+
+def call_sites(fn: Function) -> Iterator[IRInstr]:
+    """Yield the ``call``/``icall`` instructions of ``fn`` in lowering order."""
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if instr.op in ("call", "icall"):
+                yield instr
+
+
+def count_call_sites(fn: Function) -> int:
+    return sum(1 for _ in call_sites(fn))
+
+
+def ensure_call_site_plans(fplan: FunctionPlan, count: int) -> List[CallSitePlan]:
+    """Grow the function plan's call-site list to ``count`` entries."""
+    while len(fplan.call_sites) < count:
+        fplan.call_sites.append(CallSitePlan())
+    return fplan.call_sites

@@ -1,0 +1,42 @@
+"""Booby-trap function generation (Sections 4.1 and 5.1).
+
+Booby-trap functions are all-TRAP bodies of random size.  They serve two
+purposes: BTRAs point into them (so BTRA values share the text section's
+value range with benign return addresses), and their presence in the text
+section punishes blind gadget probing (Section 7.2: "the booby trap
+functions distributed in the text section deter attempts to blindly locate
+gadgets with brute force").
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.config import R2CConfig
+from repro.rng import DiversityRng
+from repro.toolchain.plan import ModulePlan
+
+BtTarget = Tuple[str, int]
+
+
+def inject_booby_traps(config: R2CConfig, rng: DiversityRng, plan: ModulePlan) -> List[Tuple[str, int]]:
+    """Register booby-trap functions in the plan; return (name, size) list."""
+    stream = rng.child("booby-traps")
+    traps: List[Tuple[str, int]] = []
+    for index in range(config.booby_trap_count):
+        size = stream.randint(config.booby_trap_min_size, config.booby_trap_max_size)
+        traps.append((f"__bt{index}", size))
+    plan.booby_trap_functions = traps
+    return traps
+
+
+def draw_btra_target(traps: List[Tuple[str, int]], stream: DiversityRng) -> BtTarget:
+    """Pick a random booby-trap function and a random offset into its body.
+
+    Every offset lands on a 1-byte TRAP instruction, so any control
+    transfer to the resulting address detonates.  Offsets spread BTRA
+    values across the whole trap body, which keeps reuse of identical
+    values between call sites rare (the property-C concern of Section 4.1).
+    """
+    name, size = stream.choice(traps)
+    return name, stream.randint(0, size - 1)

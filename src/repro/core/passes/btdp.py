@@ -1,0 +1,67 @@
+"""BTDP planning: booby-trapped data pointers (Section 5.2).
+
+The pass decides, per function, how many BTDPs to write into the frame and
+which entries of the runtime-filled BTDP array they come from.  It also
+creates the module-level data artifacts of Figure 5:
+
+* **hardened** (the R2C default): a single data-section word
+  (``__btdp_arr_ptr``) that the runtime constructor points at a
+  heap-allocated pointer array, plus a handful of *decoy* BTDPs in the
+  data section (``__btdp_decoyN``) that never appear on any stack — so an
+  attacker comparing data-section pointers against stack pointers learns
+  nothing;
+* **naive** (for the Figure 5 ablation): the array itself lives in the
+  data section (``__btdp_array``), where an attacker who can read the data
+  section can subtract its entries from the stack's heap-pointer cluster.
+
+Functions without stack objects are skipped when
+``btdp_skip_stackless`` is set — the Section 5.2 optimization ("such
+functions are guaranteed to not write benign heap pointers to the stack
+either").
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.config import R2CConfig
+from repro.rng import DiversityRng
+from repro.toolchain.ir import GlobalVar, Module
+from repro.toolchain.plan import ModulePlan
+
+HARDENED_PTR_SYMBOL = "__btdp_arr_ptr"
+NAIVE_ARRAY_SYMBOL = "__btdp_array"
+DECOY_PREFIX = "__btdp_decoy"
+
+
+def plan_btdps(
+    module: Module,
+    config: R2CConfig,
+    rng: DiversityRng,
+    plan: ModulePlan,
+    disabled: Set[str],
+) -> None:
+    if config.btdp_hardened:
+        module.add_global(GlobalVar(HARDENED_PTR_SYMBOL, size_words=1))
+        for index in range(config.btdp_decoys_in_data):
+            module.add_global(GlobalVar(f"{DECOY_PREFIX}{index}", size_words=1))
+        plan.btdp_source_symbol = HARDENED_PTR_SYMBOL
+        plan.btdp_source_is_pointer = True
+    else:
+        module.add_global(GlobalVar(NAIVE_ARRAY_SYMBOL, size_words=config.btdp_array_len))
+        plan.btdp_source_symbol = NAIVE_ARRAY_SYMBOL
+        plan.btdp_source_is_pointer = False
+    plan.btdp_array_len = config.btdp_array_len
+
+    for name, fn in module.functions.items():
+        if not fn.protected or name in disabled:
+            continue
+        if config.btdp_skip_stackless and not fn.has_stack_objects():
+            continue
+        stream = rng.child(f"btdp:{name}")
+        count = stream.randint(config.btdp_min_per_function, config.btdp_max_per_function)
+        fplan = plan.functions[name]
+        fplan.btdp_count = count
+        fplan.btdp_indices = [
+            stream.randint(0, config.btdp_array_len - 1) for _ in range(count)
+        ]

@@ -1,0 +1,155 @@
+"""BTRA planning: booby-trapped return addresses per call site (Section 5.1).
+
+Per protected function the pass draws a callee-side *post-offset*; per
+call site it splits the configured BTRA budget into pre (above the return
+address) and post (below), bounded for direct calls by the callee's
+post-offset, and picks concrete booby-trap targets.  The return-address
+properties of Section 4.1 are preserved by construction:
+
+* (A) each target is used at most once within a call site;
+* (B) the chosen set is fixed at compile time — nothing re-randomizes at
+  run time;
+* (C) each call site draws independently, so different call sites get
+  different sets (occasional value reuse across sites is tolerated, as in
+  the paper).
+
+The pass also enforces the interoperability rules of Section 7.4: call
+sites whose callee is unprotected get no BTRAs unless the worst-case
+measurement flag is set, and never when the unprotected callee takes stack
+arguments; protected stack-argument functions reachable from unprotected
+callers get R2C disabled entirely (the WebKit/Chromium patches of
+Section 7.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.core.config import R2CConfig
+from repro.core.passes import call_sites, count_call_sites, ensure_call_site_plans
+from repro.core.passes.booby_traps import draw_btra_target
+from repro.rng import DiversityRng
+from repro.toolchain.callconv import MAX_REG_ARGS
+from repro.toolchain.ir import Module
+from repro.toolchain.plan import ModulePlan
+
+
+def find_oia_incompatible(module: Module) -> Set[str]:
+    """Protected stack-argument functions directly called by unprotected code.
+
+    These are the Section 7.4.2 cases: the unprotected caller will not
+    prepare the offset-invariant frame pointer, so R2C must be disabled
+    for the callee.
+    """
+    incompatible: Set[str] = set()
+    for fn in module.functions.values():
+        if fn.protected:
+            continue
+        for instr in call_sites(fn):
+            if instr.op != "call":
+                continue
+            callee = module.functions[instr.args[1]]
+            if callee.protected and len(callee.params) > MAX_REG_ARGS:
+                incompatible.add(callee.name)
+    return incompatible
+
+
+def plan_btras(
+    module: Module,
+    config: R2CConfig,
+    rng: DiversityRng,
+    plan: ModulePlan,
+    disabled: Set[str],
+) -> None:
+    """Fill per-function post-offsets and per-call-site BTRA choices."""
+    traps = plan.booby_trap_functions
+    if not traps:
+        raise ValueError("BTRA pass requires booby-trap functions in the plan")
+
+    def is_r2c(name: str) -> bool:
+        fn = module.functions.get(name)
+        return fn is not None and fn.protected and name not in disabled
+
+    # Callee-side post-offsets first: direct call sites need them as bounds.
+    for name, fn in module.functions.items():
+        if not is_r2c(name):
+            continue
+        stream = rng.child(f"btra-post:{name}")
+        plan.functions[name].post_offset = stream.randint(1, config.max_post_offset)
+
+    # Ablation (unsafe_callee_btras): one BTRA set per callee, shared by
+    # every call site to it — deliberately violating property (C).
+    per_callee_sets = {}
+
+    for name, fn in module.functions.items():
+        if not is_r2c(name):
+            continue
+        fplan = plan.functions[name]
+        plans = ensure_call_site_plans(fplan, count_call_sites(fn))
+        stream = rng.child(f"btra-sites:{name}")
+        for index, instr in enumerate(call_sites(fn)):
+            csplan = plans[index]
+            if instr.op == "call":
+                callee_name = instr.args[1]
+                callee = module.functions[callee_name]
+                callee_is_r2c = is_r2c(callee_name)
+                if not callee_is_r2c:
+                    if not config.btras_for_unprotected_calls:
+                        continue  # default: no BTRAs toward unprotected code
+                    if len(callee.params) > MAX_REG_ARGS:
+                        # The unprotected callee reads its stack arguments
+                        # rsp-relatively; a pre-offset would break it.
+                        continue
+                    post_bound = 0  # post BTRAs would be clobbered anyway
+                else:
+                    post_bound = plan.functions[callee_name].post_offset
+            else:  # icall: callee unknown at compile time (Section 5.1)
+                callee_name = "__indirect__"
+                post_bound = config.max_post_offset
+            if config.unsafe_racy_btras:
+                post_bound = 0
+
+            total = config.btras_per_callsite
+            if config.unsafe_callee_btras:
+                # Keep the shared set's shape identical across call sites.
+                post = 0
+            else:
+                post = stream.randint(0, min(total, post_bound)) if post_bound else 0
+            pre = total - post
+            if pre % 2 != 0:
+                pre += 1  # the extra alignment BTRA of Section 5.1
+
+            if config.unsafe_callee_btras:
+                if callee_name not in per_callee_sets:
+                    shared_stream = rng.child(f"btra-callee:{callee_name}")
+                    per_callee_sets[callee_name] = (
+                        _draw_distinct(traps, shared_stream, pre),
+                        _draw_distinct(traps, shared_stream, post),
+                    )
+                shared_pre, shared_post = per_callee_sets[callee_name]
+                csplan.pre_btras = list(shared_pre[:pre])
+                csplan.post_btras = list(shared_post[:post])
+            else:
+                csplan.pre_btras = _draw_distinct(traps, stream, pre)
+                csplan.post_btras = _draw_distinct(traps, stream, post)
+            csplan.use_avx = config.btra_mode == "avx" and not config.unsafe_racy_btras
+            csplan.racy = config.unsafe_racy_btras
+            if config.btra_integrity_check and csplan.pre_btras:
+                csplan.check_index = stream.randint(0, len(csplan.pre_btras) - 1)
+
+
+def _draw_distinct(
+    traps, stream: DiversityRng, count: int
+) -> List[Tuple[str, int]]:
+    """Draw ``count`` targets, distinct within this call site (property A)."""
+    chosen: List[Tuple[str, int]] = []
+    seen = set()
+    attempts = 0
+    while len(chosen) < count:
+        target = draw_btra_target(traps, stream)
+        attempts += 1
+        if target in seen and attempts < count * 20:
+            continue
+        seen.add(target)
+        chosen.append(target)
+    return chosen

@@ -1,0 +1,56 @@
+"""Code-Pointer Hiding (Section 2.2 — the Readactor mechanism).
+
+CPH redirects every *observable* code pointer through a trampoline: GOT
+entries and data-section function-pointer initializers point at one-jump
+stubs instead of function entries, and the stubs live in execute-only
+memory.  A leaked function pointer then reveals a trampoline address; the
+function's real location — and everything at known offsets from it — stays
+hidden.
+
+This is a *related-work* mechanism, not part of R2C: we implement it so
+the Readactor row of Table 3 is faithful, and so the AOCR observation of
+Section 2.2 can be demonstrated: CPH does not stop whole-function reuse,
+because calling the trampoline still calls the function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import R2CConfig
+from repro.rng import DiversityRng
+from repro.toolchain.ir import GlobalVar, Module
+from repro.toolchain.lower import collect_got
+from repro.toolchain.plan import ModulePlan
+
+TRAMPOLINE_PREFIX = "__cph_"
+
+
+def plan_cph(
+    module: Module, config: R2CConfig, rng: DiversityRng, plan: ModulePlan
+) -> Dict[str, str]:
+    """Create trampolines for every observable function pointer.
+
+    Rewrites data-section function-pointer initializers in place and
+    registers trampolines in the plan (the linker points GOT entries at
+    them too).  Returns the function -> trampoline map.
+    """
+    targets = set(collect_got(module))
+    for gv in module.globals:
+        for entry in gv.init:
+            if isinstance(entry, tuple) and entry[0] in module.functions:
+                targets.add(entry[0])
+
+    mapping = {name: f"{TRAMPOLINE_PREFIX}{name}" for name in sorted(targets)}
+    plan.trampolines = [(tramp, fn) for fn, tramp in mapping.items()]
+
+    # Rewrite observable data-section code pointers to the trampolines.
+    for gv in module.globals:
+        new_init = []
+        for entry in gv.init:
+            if isinstance(entry, tuple) and entry[0] in mapping:
+                new_init.append((mapping[entry[0]], entry[1]))
+            else:
+                new_init.append(entry)
+        gv.init = tuple(new_init)
+    return mapping

@@ -1,0 +1,38 @@
+"""Function shuffling: randomize the text-section layout (Section 4).
+
+With shuffling enabled, application functions and booby-trap functions are
+permuted together, so booby traps end up "randomly distributed in the text
+section" (Section 4.1).  When only BTRAs are enabled (the Table 1
+component measurements), the application order is preserved but booby
+traps are still spliced in at random positions — BTRAs are meaningless
+without traps in the text range.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import R2CConfig
+from repro.rng import DiversityRng
+from repro.toolchain.ir import Module
+from repro.toolchain.plan import ModulePlan
+
+
+def plan_function_order(
+    module: Module, config: R2CConfig, rng: DiversityRng, plan: ModulePlan
+) -> None:
+    stream = rng.child("function-shuffle")
+    app_functions = list(module.functions)
+    trap_names = [name for name, _ in plan.booby_trap_functions]
+    trampoline_names = [name for name, _ in plan.trampolines]
+
+    if config.enable_function_shuffle:
+        order = app_functions + trap_names + trampoline_names
+        stream.shuffle(order)
+        plan.function_order = order
+    elif trap_names or trampoline_names:
+        # Keep application order, splice synthesized functions in at
+        # random positions.
+        order = list(app_functions)
+        for name in trap_names + trampoline_names:
+            order.insert(stream.randint(0, len(order)), name)
+        plan.function_order = order
+    # else: leave function_order as None (linker default order).

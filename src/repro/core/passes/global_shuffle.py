@@ -1,0 +1,47 @@
+"""Global-variable shuffling with random padding (Section 4).
+
+AOCR's attack (C) corrupts function default parameters at predictable
+data-section offsets.  Like Readactor++, R2C randomizes the order of
+globals and inserts random padding between them, so an attacker who knows
+the data-section base still cannot address a specific global.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import R2CConfig
+from repro.rng import DiversityRng
+from repro.toolchain.ir import GlobalVar, Module
+from repro.toolchain.plan import ModulePlan
+
+MASK64 = (1 << 64) - 1
+
+
+def plan_global_order(
+    module: Module, config: R2CConfig, rng: DiversityRng, plan: ModulePlan
+) -> None:
+    if not config.enable_global_shuffle:
+        return
+    stream = rng.child("global-shuffle")
+    names = [g.name for g in module.globals]
+    stream.shuffle(names)
+
+    # Insert random padding globals between the shuffled application
+    # globals.  Padding is filled with random *data-looking* values (small
+    # integers), not pointers, so it does not perturb AOCR's pointer
+    # clusters by itself.
+    order = []
+    for index, name in enumerate(names):
+        order.append(name)
+        pad_words = stream.randint(config.global_padding_min, config.global_padding_max)
+        if pad_words > 0:
+            pad_name = f"__gpad{index}"
+            module.add_global(
+                GlobalVar(
+                    pad_name,
+                    size_words=pad_words,
+                    init=tuple(stream.randint(0, 0xFFFF) for _ in range(pad_words)),
+                    is_padding=True,
+                )
+            )
+            order.append(pad_name)
+    plan.global_order = order

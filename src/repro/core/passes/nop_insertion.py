@@ -1,0 +1,33 @@
+"""NOP insertion at call sites (Section 4.3).
+
+The NOPs change the offset between a return address and the calling
+function's entry, so a leaked return address no longer reveals the caller's
+address — restricting leaked return addresses to gadget localization,
+which BTRAs then make probabilistically expensive (Section 7.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.config import R2CConfig
+from repro.core.passes import count_call_sites, ensure_call_site_plans
+from repro.rng import DiversityRng
+from repro.toolchain.ir import Module
+from repro.toolchain.plan import ModulePlan
+
+
+def plan_nops(
+    module: Module,
+    config: R2CConfig,
+    rng: DiversityRng,
+    plan: ModulePlan,
+    disabled: Set[str],
+) -> None:
+    for name, fn in module.functions.items():
+        if not fn.protected or name in disabled:
+            continue
+        stream = rng.child(f"nops:{name}")
+        plans = ensure_call_site_plans(plan.functions[name], count_call_sites(fn))
+        for csplan in plans:
+            csplan.nops_before = stream.randint(config.nops_min, config.nops_max)

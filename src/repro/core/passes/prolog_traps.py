@@ -1,0 +1,33 @@
+"""Trap insertion in function prologs (Section 4.3).
+
+The traps change the offset from a function's entry to any gadget inside
+it, so a leaked function pointer no longer locates gadgets — the attacker
+is restricted to whole-function reuse (Section 7.2.2).  Normal control
+flow jumps over the trap block; anything landing *inside* the prolog
+(a mislocated gadget) detonates.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.config import R2CConfig
+from repro.rng import DiversityRng
+from repro.toolchain.ir import Module
+from repro.toolchain.plan import ModulePlan
+
+
+def plan_prolog_traps(
+    module: Module,
+    config: R2CConfig,
+    rng: DiversityRng,
+    plan: ModulePlan,
+    disabled: Set[str],
+) -> None:
+    for name, fn in module.functions.items():
+        if not fn.protected or name in disabled:
+            continue
+        stream = rng.child(f"prolog:{name}")
+        plan.functions[name].prolog_traps = stream.randint(
+            config.prolog_traps_min, config.prolog_traps_max
+        )

@@ -1,0 +1,30 @@
+"""Register-allocation randomization (Section 4.3).
+
+Shuffling the allocator's register pool changes which values live in which
+registers — and therefore which callee-saved registers get spilled where,
+further diversifying the observable stack image between builds.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.config import R2CConfig
+from repro.rng import DiversityRng
+from repro.toolchain.ir import Module
+from repro.toolchain.plan import ModulePlan
+
+
+def plan_regalloc_shuffle(
+    module: Module,
+    config: R2CConfig,
+    rng: DiversityRng,
+    plan: ModulePlan,
+    disabled: Set[str],
+) -> None:
+    for name, fn in module.functions.items():
+        if not fn.protected or name in disabled:
+            continue
+        fplan = plan.functions[name]
+        fplan.shuffle_regs = True
+        fplan.reg_rng = rng.child(f"regs:{name}")

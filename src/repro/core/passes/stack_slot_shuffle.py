@@ -1,0 +1,32 @@
+"""Stack-slot randomization (Section 4.2).
+
+Permuting the frame slots (parameter homes, locals, spills, BTDP slots,
+register save slots) invalidates any a-priori knowledge of the relative
+position of stack objects — including where heap pointers sit relative to
+other values, which is what forces AOCR into the statistical value-range
+analysis that BTDPs then poison.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.config import R2CConfig
+from repro.rng import DiversityRng
+from repro.toolchain.ir import Module
+from repro.toolchain.plan import ModulePlan
+
+
+def plan_slot_shuffle(
+    module: Module,
+    config: R2CConfig,
+    rng: DiversityRng,
+    plan: ModulePlan,
+    disabled: Set[str],
+) -> None:
+    for name, fn in module.functions.items():
+        if not fn.protected or name in disabled:
+            continue
+        fplan = plan.functions[name]
+        fplan.shuffle_slots = True
+        fplan.slot_rng = rng.child(f"slots:{name}")

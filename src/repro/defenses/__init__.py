@@ -1,0 +1,14 @@
+"""Related defenses: the Table 3 comparison models and the Section 7.3
+MVEE combination."""
+
+from repro.defenses.related import DEFENSE_MODELS, DefenseModel
+from repro.defenses.mvee import MVEE, MveeOutcome, MveeResult, mvee_attack_outcome
+
+__all__ = [
+    "DEFENSE_MODELS",
+    "DefenseModel",
+    "MVEE",
+    "MveeOutcome",
+    "MveeResult",
+    "mvee_attack_outcome",
+]

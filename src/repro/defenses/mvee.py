@@ -1,0 +1,224 @@
+"""Multi-Variant Execution Engine (the Section 7.3 proposal).
+
+The paper: "A way to strengthen R2C's security would be to combine it with
+Multi-Variant Execution Engines.  MVEEs and diversification defenses like
+R2C naturally complement each other.  Considering that R2C diversifies
+along multiple dimensions, an MVEE would detect data corruption or leakage
+in one of the variants with high probability."
+
+This module implements that combination.  An :class:`MVEE` compiles the
+same source into N *differently diversified* variants (different R2C
+seeds), runs them on identical input, and cross-checks their observable
+behaviour (output events, exit status, fault class).  Attacker input is
+replicated to every variant, as in a real MVEE: the attack logic runs
+against the leader, its memory *writes* are recorded and replayed
+byte-for-byte at the same addresses in each follower.  Because the
+variants' layouts differ, a write that surgically corrupts the leader
+lands somewhere else in a follower — and the resulting behavioural
+divergence is a detection, even when the attack against a single variant
+would have succeeded silently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.attacks.monitor import DefenseMonitor
+from repro.attacks.outcomes import AttackOutcome
+from repro.attacks.scenario import AttackAborted, output_success
+from repro.attacks.surface import AttackerView, ReferenceKnowledge
+from repro.core.compiler import compile_module
+from repro.core.config import R2CConfig
+from repro.errors import MachineError
+from repro.machine.costs import get_costs
+from repro.machine.cpu import CPU
+from repro.machine.loader import load_binary
+from repro.rng import DiversityRng
+from repro.toolchain.ir import Module
+from repro.workloads.victim import build_victim
+
+
+class MveeOutcome(enum.Enum):
+    #: All variants agreed; no attack effect observed.
+    CLEAN = "clean"
+    #: Variants diverged (different outputs / statuses) — the MVEE's
+    #: detection signal.
+    DIVERGED = "diverged"
+    #: A variant tripped an R2C booby trap / BTDP (reactive detection
+    #: fires even before cross-checking).
+    TRAPPED = "trapped"
+    #: Every variant reached the attacker's goal identically — the only
+    #: way an attack beats an MVEE.
+    COMPROMISED = "compromised"
+
+
+@dataclass
+class VariantRun:
+    """Observable behaviour of one variant."""
+
+    status: str  # "exit" | "crashed" | "detected"
+    exit_code: Optional[int]
+    output: Tuple[int, ...]
+    attacked_success: bool
+
+
+@dataclass
+class MveeResult:
+    outcome: MveeOutcome
+    variants: List[VariantRun] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        return self.outcome in (MveeOutcome.DIVERGED, MveeOutcome.TRAPPED)
+
+
+class _RecordingView(AttackerView):
+    """AttackerView that logs every write for replay in the followers."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.write_log: List[Tuple[int, bytes]] = []
+
+    def write_word(self, address: int, value: int) -> None:
+        data = (value & (2**64 - 1)).to_bytes(8, "little")
+        self.write_log.append((address, data))
+        super().write_word(address, value)
+
+    def write_low_bytes(self, address: int, value: int, nbytes: int) -> None:
+        data = (value & ((1 << (8 * nbytes)) - 1)).to_bytes(nbytes, "little")
+        self.write_log.append((address, data))
+        super().write_low_bytes(address, value, nbytes)
+
+
+class MVEE:
+    """Runs N diversified variants of one module under cross-checking."""
+
+    def __init__(
+        self,
+        config: R2CConfig,
+        *,
+        module: Optional[Module] = None,
+        variants: int = 2,
+        build_seed: int = 0,
+        load_seed: int = 0xBEEF,
+    ):
+        if variants < 2:
+            raise ValueError("an MVEE needs at least two variants")
+        self.module = module if module is not None else build_victim()
+        self.configs = [
+            config.replace(seed=build_seed + 1000 * index) for index in range(variants)
+        ]
+        self.binaries = [compile_module(self.module, cfg) for cfg in self.configs]
+        self.load_seed = load_seed
+        # The attacker's reference: their own build, as in VictimSession.
+        self.reference = ReferenceKnowledge(
+            compile_module(self.module, config.replace(seed=build_seed + 0x5EED))
+        )
+        self.monitor = DefenseMonitor()
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        attack_fn: Optional[Callable[[AttackerView], None]] = None,
+        *,
+        attacker_seed: int = 0,
+    ) -> MveeResult:
+        """Run all variants (optionally under attack) and cross-check."""
+        write_log: List[Tuple[int, bytes]] = []
+        runs: List[VariantRun] = []
+        for index, binary in enumerate(self.binaries):
+            is_leader = index == 0
+            runs.append(
+                self._run_variant(
+                    binary,
+                    attack_fn if is_leader else None,
+                    write_log,
+                    leader=is_leader,
+                    attacker_seed=attacker_seed,
+                )
+            )
+
+        result = MveeResult(outcome=MveeOutcome.CLEAN, variants=runs)
+        if any(run.status == "detected" for run in runs):
+            result.outcome = MveeOutcome.TRAPPED
+            result.notes.append("an R2C booby trap fired in at least one variant")
+        elif all(run.attacked_success for run in runs):
+            result.outcome = MveeOutcome.COMPROMISED
+            result.notes.append("every variant reached the attacker goal identically")
+        elif len({(run.status, run.exit_code, run.output) for run in runs}) > 1:
+            result.outcome = MveeOutcome.DIVERGED
+            result.notes.append(
+                "variant behaviour diverged: "
+                + ", ".join(f"v{i}={run.status}" for i, run in enumerate(runs))
+            )
+        return result
+
+    def _run_variant(
+        self,
+        binary,
+        attack_fn,
+        write_log: List[Tuple[int, bytes]],
+        *,
+        leader: bool,
+        attacker_seed: int,
+    ) -> VariantRun:
+        process = load_binary(binary, seed=self.load_seed)
+        cpu = CPU(process, get_costs("epyc-rome"), instruction_budget=5_000_000)
+        fired = {}
+
+        def hook(proc, running_cpu):
+            if fired:
+                return 0
+            fired["yes"] = True
+            if leader and attack_fn is not None:
+                view = _RecordingView(
+                    proc,
+                    running_cpu,
+                    self.reference,
+                    rng=DiversityRng(attacker_seed).child("attacker"),
+                )
+                try:
+                    attack_fn(view)
+                except AttackAborted:
+                    pass
+                write_log.extend(view.write_log)
+            elif not leader and write_log:
+                # MVEE input replication: the follower receives the same
+                # corrupting bytes at the same addresses.
+                for address, data in write_log:
+                    try:
+                        proc.memory.write(address, data)
+                    except MachineError:
+                        pass  # landed in an unmapped/protected spot here
+            return 0
+
+        process.register_service("attack_hook", hook)
+        try:
+            exec_result = cpu.run()
+        except MachineError as exc:
+            status = self.monitor.classify(exc)
+            return VariantRun(
+                status=status,
+                exit_code=None,
+                output=tuple(process.output),
+                attacked_success=output_success(process.output),
+            )
+        return VariantRun(
+            status="exit",
+            exit_code=exec_result.exit_code,
+            output=tuple(exec_result.output),
+            attacked_success=output_success(exec_result.output),
+        )
+
+
+def mvee_attack_outcome(result: MveeResult) -> AttackOutcome:
+    """Map an MVEE cross-check result onto the attack-outcome scale."""
+    if result.outcome is MveeOutcome.COMPROMISED:
+        return AttackOutcome.SUCCESS
+    if result.detected:
+        return AttackOutcome.DETECTED
+    return AttackOutcome.FAILED

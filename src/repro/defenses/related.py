@@ -1,0 +1,136 @@
+"""Models of the related diversification defenses compared in Table 3.
+
+Each defense is expressed inside our framework as the subset of
+diversification/hardening mechanisms it provides, so the *same attack
+implementations* can be run against all of them and the comparison matrix
+emerges from experiments rather than assertion.  The mappings:
+
+* **none** — the undiversified baseline with only ASLR and W^X.
+* **codearmor** — CodeArmor [19]: the code space is hidden/re-randomized,
+  modelled as execute-only text + per-install function shuffling; data
+  layout untouched.  Code locators translate like CPH, so AOCR's
+  data-section attack path stays open.
+* **tasr** — TASR [10]: re-randomization on I/O; also modelled as
+  per-install code randomization with execute-only text and undiversified
+  data.  (Continuous re-randomization between probes is *not* granted to
+  the attacker-facing model — the worker-restart scenario of our harness
+  keeps one layout, which is TASR's best case, so this errs in TASR's
+  favour for ROP-style attacks and still loses to AOCR.)
+* **stackarmor** — StackArmor [20]: binary-level stack protection;
+  modelled as stack-slot randomization only (no code diversification, no
+  execute-only requirement beyond the W^X baseline).
+* **readactor** — Readactor/Readactor++ [23, 25]: execute-only memory,
+  fine-grained code randomization (function shuffle, NOP insertion,
+  prolog traps, register shuffling) and standalone booby traps — but *no
+  data diversification*: return addresses sit at ABI-fixed spots, heap
+  pointers are clusterable, and globals (AOCR's default parameters) stay
+  at build-constant offsets, which is exactly the gap AOCR exploited.
+* **krx** — kR^X [56]: execute-only + a *single* return-address decoy per
+  return address (``btras_per_callsite=1``; footnote 3 of Table 3: "single
+  decoy; no heap pointer protection").
+* **r2c** — this paper, full configuration.
+
+Per-defense ``execute_only`` reflects whether the defense deploys XoM;
+attacks read code freely when it is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import R2CConfig
+
+
+@dataclass(frozen=True)
+class DefenseModel:
+    """One row of the Table 3 comparison.
+
+    ``shadow_stack`` marks an enforcement-based backward-edge CFI row
+    (Section 8.2): the CPU verifies every return against a protected
+    shadow stack.
+    """
+
+    name: str
+    config: R2CConfig
+    execute_only: bool
+    description: str
+    shadow_stack: bool = False
+
+    def victim_config(self, seed: int) -> R2CConfig:
+        return self.config.replace(seed=seed)
+
+
+def _build_models() -> Dict[str, DefenseModel]:
+    models = {}
+
+    models["none"] = DefenseModel(
+        name="none",
+        config=R2CConfig.baseline(),
+        execute_only=False,
+        description="ASLR + W^X only (the software monoculture)",
+    )
+    models["codearmor"] = DefenseModel(
+        name="codearmor",
+        config=R2CConfig(enable_function_shuffle=True, enable_nop_insertion=True),
+        execute_only=True,
+        description="hidden/re-randomized code space; data layout untouched",
+    )
+    models["tasr"] = DefenseModel(
+        name="tasr",
+        config=R2CConfig(enable_function_shuffle=True),
+        execute_only=True,
+        description="re-randomized code layout; data layout untouched",
+    )
+    models["stackarmor"] = DefenseModel(
+        name="stackarmor",
+        config=R2CConfig(enable_stack_slot_shuffle=True, enable_regalloc_shuffle=True),
+        execute_only=False,
+        description="stack frame/slot randomization only",
+    )
+    models["readactor"] = DefenseModel(
+        name="readactor",
+        config=R2CConfig(
+            enable_function_shuffle=True,
+            enable_nop_insertion=True,
+            enable_prolog_traps=True,
+            enable_regalloc_shuffle=True,
+            booby_traps_standalone=True,
+            enable_cph=True,
+        ),
+        execute_only=True,
+        description="XoM + code-pointer hiding + fine-grained code "
+        "randomization + booby traps; no data-layout diversification "
+        "(AOCR's original target)",
+    )
+    models["krx"] = DefenseModel(
+        name="krx",
+        config=R2CConfig(
+            enable_btra=True,
+            btra_mode="push",
+            btras_per_callsite=1,
+            btras_for_unprotected_calls=True,
+            enable_function_shuffle=True,
+        ),
+        execute_only=True,
+        description="XoM + a single return-address decoy (no heap-pointer protection)",
+    )
+    models["shadowstack"] = DefenseModel(
+        name="shadowstack",
+        config=R2CConfig.baseline(),
+        execute_only=False,
+        shadow_stack=True,
+        description="backward-edge CFI (hardware shadow stack, Section 8.2); "
+        "returns are enforced, forward edges and data are not",
+    )
+    models["r2c"] = DefenseModel(
+        name="r2c",
+        config=R2CConfig.full(),
+        execute_only=True,
+        description="full R2C: BTRAs + BTDPs + code and data diversification",
+    )
+    return models
+
+
+#: Defense name -> model, in Table 3 row order.
+DEFENSE_MODELS: Dict[str, DefenseModel] = _build_models()

@@ -1,0 +1,89 @@
+"""Exception hierarchy shared across the repro package.
+
+Every layer raises a subclass of :class:`ReproError` so callers can catch
+simulation problems without accidentally swallowing programming errors.
+Memory faults additionally carry enough structure for the attack monitor
+(:mod:`repro.attacks.monitor`) to classify them, e.g. to tell a booby-trap
+detonation apart from a plain wild access.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ToolchainError(ReproError):
+    """Raised for malformed IR, codegen failures, or link errors."""
+
+
+class LinkError(ToolchainError):
+    """Raised when symbol resolution or section layout fails."""
+
+
+class MachineError(ReproError):
+    """Base class for runtime errors inside the simulated machine."""
+
+
+class InvalidInstruction(MachineError):
+    """Raised when the CPU fetches something that is not an instruction."""
+
+
+class MemoryFault(MachineError):
+    """A memory access violated the page permissions (SIGSEGV analogue).
+
+    Attributes:
+        kind: one of ``"read"``, ``"write"``, ``"fetch"``.
+        address: the faulting virtual address.
+        reason: short human-readable cause (``"unmapped"``, ``"protection"``).
+    """
+
+    def __init__(self, kind: str, address: int, reason: str = "protection"):
+        self.kind = kind
+        self.address = address
+        self.reason = reason
+        super().__init__(f"{kind} fault at {address:#x} ({reason})")
+
+
+class GuardPageFault(MemoryFault):
+    """A memory access hit a guard page installed by the R2C runtime.
+
+    Dereferencing a booby-trapped data pointer lands here; the monitor
+    treats this as a detected attack rather than a plain crash.
+    """
+
+
+class BoobyTrapTriggered(MachineError):
+    """Control flow reached a booby-trap function (BTRA detonation)."""
+
+    def __init__(self, address: int):
+        self.address = address
+        super().__init__(f"booby trap triggered at {address:#x}")
+
+
+class StackMisaligned(MachineError):
+    """The stack pointer violated the 16-byte ABI alignment at a call."""
+
+
+class ShadowStackViolation(MachineError):
+    """A return target disagreed with the shadow stack (backward-edge CFI).
+
+    Raised only when the CPU's optional shadow stack is enabled — the
+    enforcement-based comparison point of Section 8.2.
+    """
+
+    def __init__(self, expected: int, actual: int):
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"return to {actual:#x} but shadow stack expected {expected:#x}"
+        )
+
+
+class ExecutionLimitExceeded(MachineError):
+    """The interpreter exceeded its configured instruction budget."""
+
+
+class AllocatorError(ReproError):
+    """Heap allocator misuse (double free, corrupt chunk, OOM)."""

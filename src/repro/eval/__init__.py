@@ -1,0 +1,22 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.eval.stats` — geometric means, medians, overhead ratios.
+* :mod:`repro.eval.harness` — compile/load/run plumbing with per-seed
+  recompilation (the paper's methodology, Section 6.2).
+* :mod:`repro.eval.experiments` — one driver per table/figure; see
+  DESIGN.md section 4 for the experiment index.
+* :mod:`repro.eval.report` — text renderers mirroring the paper's tables.
+"""
+
+from repro.eval.harness import RunStats, run_module, measure_config, measure_overhead
+from repro.eval.stats import geomean, median, overhead_percent
+
+__all__ = [
+    "RunStats",
+    "run_module",
+    "measure_config",
+    "measure_overhead",
+    "geomean",
+    "median",
+    "overhead_percent",
+]

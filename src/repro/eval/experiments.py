@@ -1,0 +1,543 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Index (see DESIGN.md section 4):
+
+==========================  ==========================================
+:func:`experiment_table1`   Table 1 — component overheads (Push / AVX /
+                            BTDP / Prolog / Layout / OIA)
+:func:`experiment_table2`   Table 2 — median call frequencies
+:func:`experiment_figure6`  Figure 6 — full R2C overhead per benchmark
+                            on four machines
+:func:`experiment_webserver`    §6.2.4 — nginx/Apache throughput
+:func:`experiment_memory`       §6.2.5 — maxrss overheads + BTDP share
+:func:`experiment_scalability`  §6.3 — browser-scale compilation
+:func:`experiment_table3`       Table 3 / §7.2 — attacks vs. defenses
+:func:`experiment_security_probabilities`
+                            §7.2.1 / §7.2.3 — guessing probabilities,
+                            closed form vs. measured
+==========================  ==========================================
+
+Every driver returns plain data structures; :mod:`repro.eval.report`
+renders them in the paper's table shapes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks import ALL_ATTACKS
+from repro.attacks.clustering import cluster_pointers
+from repro.attacks.scenario import VictimSession
+from repro.core.config import R2CConfig
+from repro.core.compiler import compile_module
+from repro.defenses.related import DEFENSE_MODELS
+from repro.eval.harness import measure_config, run_module
+from repro.eval.stats import geomean, median, overhead_percent
+from repro.machine.costs import MACHINE_PRESETS
+from repro.rng import DiversityRng
+from repro.toolchain.interp import interpret_module
+from repro.workloads.browser import generate_browser_corpus
+from repro.workloads.spec import SPEC_BENCHMARKS, SPEC_FOOTPRINT_PAGES, build_spec_benchmark
+from repro.workloads.webserver import SERVERS, build_webserver
+
+DEFAULT_SEEDS = (1, 2, 3)
+
+#: Table 1 rows: label -> configuration factory.
+COMPONENT_CONFIGS: Dict[str, Callable[[int], R2CConfig]] = {
+    "Push": R2CConfig.btra_push_only,
+    "AVX": R2CConfig.btra_avx_only,
+    "BTDP": R2CConfig.btdp_only,
+    "Prolog": R2CConfig.prolog_only,
+    "Layout": R2CConfig.layout_only,
+    "OIA": R2CConfig.oia_only,
+}
+
+
+def _benchmarks(subset: Optional[Sequence[str]]) -> List[str]:
+    return list(subset) if subset else list(SPEC_BENCHMARKS)
+
+
+# ---------------------------------------------------------------------------
+# Table 1: component overheads
+# ---------------------------------------------------------------------------
+
+def experiment_table1(
+    *,
+    scale: int = 1,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    machine: str = "epyc-rome",
+    benchmarks: Optional[Sequence[str]] = None,
+    components: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Per-component overhead ratios across the SPEC suite.
+
+    Returns {component: {"per_benchmark": {name: ratio}, "max": r, "geomean": r}}.
+    """
+    names = _benchmarks(benchmarks)
+    rows: Dict[str, Dict[str, object]] = {}
+    baselines = {
+        name: measure_config(
+            lambda n=name: build_spec_benchmark(n, scale),
+            R2CConfig.baseline(),
+            machine=machine,
+            seeds=seeds[:1],
+        )
+        for name in names
+    }
+    for label in components or COMPONENT_CONFIGS:
+        factory = COMPONENT_CONFIGS[label]
+        ratios = {}
+        for name in names:
+            protected = measure_config(
+                lambda n=name: build_spec_benchmark(n, scale),
+                factory(0),
+                machine=machine,
+                seeds=seeds,
+            )
+            ratios[name] = protected / baselines[name]
+        rows[label] = {
+            "per_benchmark": ratios,
+            "max": max(ratios.values()),
+            "geomean": geomean(ratios.values()),
+        }
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 2: call frequencies
+# ---------------------------------------------------------------------------
+
+def experiment_table2(
+    *, inputs: Sequence[int] = (1, 2, 3), benchmarks: Optional[Sequence[str]] = None
+) -> Dict[str, int]:
+    """Median executed-call counts per benchmark across input scales.
+
+    Mirrors the paper's instrumentation ("we instrumented the SPEC CPU
+    benchmark programs to count the number of executed call instructions
+    ... For each benchmark we took the median call frequencies across all
+    inputs").  Our ``call`` counter, like theirs, excludes tail calls by
+    construction (the codegen never emits them).
+    """
+    counts: Dict[str, int] = {}
+    for name in _benchmarks(benchmarks):
+        per_input = []
+        for scale in inputs:
+            stats = run_module(build_spec_benchmark(name, scale), R2CConfig.baseline())
+            per_input.append(stats.calls)
+        counts[name] = int(median(per_input))
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: full R2C on four machines
+# ---------------------------------------------------------------------------
+
+def experiment_figure6(
+    *,
+    scale: int = 1,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    machines: Optional[Sequence[str]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Full-protection overhead (%) per benchmark per machine, plus the
+    per-machine geomean under key ``"geomean"``."""
+    machine_names = list(machines) if machines else list(MACHINE_PRESETS)
+    names = _benchmarks(benchmarks)
+    result: Dict[str, Dict[str, float]] = {name: {} for name in names}
+    per_machine_ratios: Dict[str, List[float]] = {m: [] for m in machine_names}
+    for machine in machine_names:
+        for name in names:
+            source = lambda n=name: build_spec_benchmark(n, scale)
+            baseline = measure_config(
+                source, R2CConfig.baseline(), machine=machine, seeds=seeds[:1]
+            )
+            protected = measure_config(
+                source, R2CConfig.full(), machine=machine, seeds=seeds
+            )
+            ratio = protected / baseline
+            result[name][machine] = overhead_percent(protected, baseline)
+            per_machine_ratios[machine].append(ratio)
+    result["geomean"] = {
+        machine: 100.0 * (geomean(ratios) - 1.0)
+        for machine, ratios in per_machine_ratios.items()
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# §6.2.4: webserver throughput
+# ---------------------------------------------------------------------------
+
+def experiment_webserver(
+    *,
+    requests: int = 150,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    machines: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Throughput decrease (%) per server per machine.
+
+    Throughput = requests/cycle, so the throughput decrease equals
+    1 - baseline_cycles/protected_cycles.
+    """
+    machine_names = list(machines) if machines else list(MACHINE_PRESETS)
+    result: Dict[str, Dict[str, float]] = {}
+    for server in SERVERS:
+        result[server] = {}
+        for machine in machine_names:
+            source = lambda s=server: build_webserver(s, requests)
+            baseline = measure_config(
+                source, R2CConfig.baseline(), machine=machine, seeds=seeds[:1]
+            )
+            protected = measure_config(
+                source, R2CConfig.full(), machine=machine, seeds=seeds
+            )
+            result[server][machine] = 100.0 * (1.0 - baseline / protected)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# §6.2.5: memory overhead
+# ---------------------------------------------------------------------------
+
+def experiment_memory(
+    *,
+    scale: int = 1,
+    seed: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """maxrss overheads: SPEC (with realistic working sets), webservers,
+    and the share of webserver overhead attributable to BTDP pages."""
+    spec: Dict[str, float] = {}
+    for name in _benchmarks(benchmarks):
+        pages = SPEC_FOOTPRINT_PAGES[name]
+        module = build_spec_benchmark(name, scale, footprint_pages=pages)
+        base = run_module(module, R2CConfig.baseline(), load_seed=seed, heap_size=32 << 20)
+        full = run_module(
+            module, R2CConfig.full(seed=seed), load_seed=seed, heap_size=32 << 20
+        )
+        spec[name] = overhead_percent(full.max_rss, base.max_rss)
+
+    web: Dict[str, float] = {}
+    btdp_share: Dict[str, float] = {}
+    for server in SERVERS:
+        module = build_webserver(server)
+        base = run_module(module, R2CConfig.baseline(), load_seed=seed)
+        full = run_module(module, R2CConfig.full(seed=seed), load_seed=seed)
+        no_btdp = run_module(
+            module,
+            R2CConfig.full(seed=seed).replace(enable_btdp=False),
+            load_seed=seed,
+        )
+        web[server] = overhead_percent(full.max_rss, base.max_rss)
+        total_extra = full.max_rss - base.max_rss
+        btdp_extra = full.max_rss - no_btdp.max_rss
+        btdp_share[server] = 100.0 * btdp_extra / total_extra if total_extra else 0.0
+
+    return {"spec": spec, "webserver": web, "btdp_share": btdp_share}
+
+
+# ---------------------------------------------------------------------------
+# §6.3: scalability
+# ---------------------------------------------------------------------------
+
+def experiment_scalability(
+    *, sizes: Sequence[int] = (200, 600, 1500), seed: int = 0
+) -> List[Dict[str, object]]:
+    """Compile browser-scale corpora under full R2C; verify correctness.
+
+    Reports corpus size, generated function count, compile wall time, and
+    whether the diversified binary matches the reference interpreter.
+    """
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        module = generate_browser_corpus(size, seed=seed)
+        expected = interpret_module(module)
+        started = time.perf_counter()
+        binary = compile_module(module, R2CConfig.full(seed=seed))
+        compile_seconds = time.perf_counter() - started
+        stats = run_module(module, R2CConfig.full(seed=seed), load_seed=seed + 1)
+        rows.append(
+            {
+                "functions": size,
+                "instructions": binary.instruction_count(),
+                "text_bytes": binary.text_size,
+                "compile_seconds": compile_seconds,
+                "verified": (stats.exit_code, list(stats.output))
+                == (expected[0], expected[1]),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 3 / §7.2: attacks vs defenses
+# ---------------------------------------------------------------------------
+
+def experiment_table3(
+    *,
+    trials: int = 3,
+    attacks: Optional[Sequence[str]] = None,
+    defenses: Optional[Sequence[str]] = None,
+    base_seed: int = 100,
+) -> Dict[str, Dict[str, Dict[str, int]]]:
+    """Run every attack against every defense model.
+
+    Returns {defense: {attack: {"success": n, "detected": n, "crashed": n,
+    "failed": n}}} over ``trials`` independently diversified victims.
+    """
+    attack_names = list(attacks) if attacks else list(ALL_ATTACKS)
+    defense_names = list(defenses) if defenses else list(DEFENSE_MODELS)
+    matrix: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for defense_name in defense_names:
+        model = DEFENSE_MODELS[defense_name]
+        matrix[defense_name] = {}
+        for attack_name in attack_names:
+            tallies = {"success": 0, "detected": 0, "crashed": 0, "failed": 0}
+            for trial in range(trials):
+                session = VictimSession(
+                    model.victim_config(seed=base_seed + trial),
+                    execute_only=model.execute_only,
+                    shadow_stack=model.shadow_stack,
+                    load_seed=base_seed + 17 * trial,
+                )
+                result = ALL_ATTACKS[attack_name](
+                    session, attacker_seed=base_seed + 31 * trial
+                )
+                tallies[result.outcome.value] += 1
+            matrix[defense_name][attack_name] = tallies
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# §7.2.1 / §7.2.3: probabilistic security guarantees
+# ---------------------------------------------------------------------------
+
+def btra_guess_probability(btras: int, leaks: int) -> float:
+    """Closed form of Section 7.2.1: (1/(R+1))**n."""
+    return (1.0 / (btras + 1)) ** leaks
+
+
+def experiment_security_probabilities(
+    *,
+    btras: int = 10,
+    leaks: Sequence[int] = (1, 2, 3, 4),
+    mc_trials: int = 20000,
+    stack_samples: int = 30,
+) -> Dict[str, object]:
+    """Compare measured guessing odds against the paper's closed forms.
+
+    * **BTRA guessing** (§7.2.1): Monte-Carlo draws of one candidate among
+      R BTRAs + 1 return address, needing ``n`` independent hits.
+    * **Heap-pointer picking** (§7.2.3): against real compiled victims,
+      leak the stack at the vulnerability, cluster, pick a random member
+      of the heap cluster, and check (against runtime ground truth)
+      whether it was benign — the measured H/(H+B).
+    """
+    rng = DiversityRng(7).child("security-mc")
+    closed = {n: btra_guess_probability(btras, n) for n in leaks}
+    measured = {}
+    for n in leaks:
+        hits = 0
+        for _ in range(mc_trials):
+            if all(rng.randint(0, btras) == 0 for _ in range(n)):
+                hits += 1
+        measured[n] = hits / mc_trials
+
+    # Empirical heap-pointer odds against real victims.
+    benign_picks = 0
+    total_picks = 0
+    per_sample_ratio = []
+    for index in range(stack_samples):
+        session = VictimSession(R2CConfig.full(seed=500 + index), load_seed=900 + index)
+        picked = {}
+
+        def hook(view):
+            clusters = cluster_pointers(view.leak_stack())
+            picked["heap_values"] = clusters.heap_values()
+
+        session.probe(hook, attacker_seed=index)
+        heap_values = picked.get("heap_values", [])
+        if not heap_values:
+            continue
+        # Ground truth from the R2C runtime: which values are BTDPs?
+        process, _ = session.spawn()
+        btdp_values = set(process.r2c_runtime["btdp_values"])
+        benign = sum(1 for value in heap_values if value not in btdp_values)
+        benign_picks += benign
+        total_picks += len(heap_values)
+        per_sample_ratio.append(benign / len(heap_values))
+
+    return {
+        "btra_closed_form": closed,
+        "btra_measured": measured,
+        "heap_benign_fraction": (benign_picks / total_picks) if total_picks else None,
+        "heap_benign_fraction_samples": per_sample_ratio,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parameter sweeps: the security/performance trade-offs behind the knobs
+# ---------------------------------------------------------------------------
+
+def experiment_btra_sweep(
+    *,
+    counts: Sequence[int] = (2, 5, 10, 15, 20),
+    benchmark: str = "omnetpp",
+    seeds: Sequence[int] = (1,),
+) -> Dict[int, Dict[str, float]]:
+    """Overhead vs. BTRA count per call site, with the Section 7.2.1
+    guessing probability each count buys.
+
+    Section 4.1 parameterizes the maximum number of BTRAs; this sweep is
+    the trade-off curve behind picking 10 — and behind the Section 7.1
+    AVX-512 option of doubling the count.
+    """
+    source = lambda: build_spec_benchmark(benchmark)
+    baseline = measure_config(source, R2CConfig.baseline(), seeds=seeds[:1])
+    out: Dict[int, Dict[str, float]] = {}
+    for count in counts:
+        config = R2CConfig.btra_avx_only().replace(btras_per_callsite=count)
+        protected = measure_config(source, config, seeds=seeds)
+        out[count] = {
+            "overhead_pct": overhead_percent(protected, baseline),
+            "guess_probability": 1.0 / (count + 1),
+        }
+    return out
+
+
+def experiment_btdp_sweep(
+    *,
+    maxima: Sequence[int] = (0, 2, 5, 8),
+    benchmark: str = "xalancbmk",
+    seeds: Sequence[int] = (1,),
+    stack_samples: int = 8,
+) -> Dict[int, Dict[str, float]]:
+    """Overhead vs. BTDP density, with the measured benign heap-pointer
+    fraction H/(H+B) each density buys (Section 7.2.3)."""
+    source = lambda: build_spec_benchmark(benchmark)
+    baseline = measure_config(source, R2CConfig.baseline(), seeds=seeds[:1])
+    out: Dict[int, Dict[str, float]] = {}
+    for maximum in maxima:
+        config = R2CConfig.btdp_only().replace(btdp_max_per_function=maximum)
+        protected = measure_config(source, config, seeds=seeds)
+        benign, total = 0, 0
+        if maximum > 0:
+            full = R2CConfig.full().replace(btdp_max_per_function=maximum)
+            for index in range(stack_samples):
+                session = VictimSession(
+                    full.replace(seed=700 + index), load_seed=300 + index
+                )
+                picked: Dict[str, List[int]] = {}
+
+                def hook(view):
+                    picked["heap"] = cluster_pointers(view.leak_stack()).heap_values()
+
+                session.probe(hook, attacker_seed=index)
+                process, _ = session.spawn()
+                btdps = set(process.r2c_runtime["btdp_values"])
+                values = picked.get("heap", [])
+                benign += sum(1 for v in values if v not in btdps)
+                total += len(values)
+        out[maximum] = {
+            "overhead_pct": overhead_percent(protected, baseline),
+            "benign_fraction": (benign / total) if total else 1.0,
+        }
+    return out
+
+
+def _redundant_call_workload(calls: int = 400, redundancy: int = 10):
+    """A call loop whose body carries foldable constant arithmetic — the
+    shape unoptimized C has and our hand-tuned SPEC stand-ins lack."""
+    from repro.toolchain.builder import IRBuilder
+    from repro.workloads.programs import add_leaf_workers
+
+    ir = IRBuilder("redundant")
+    leaves = add_leaf_workers(ir, "w", 2, work=4)
+    fb = ir.function("main")
+    fb.local("acc")
+    fb.store_local("acc", 0)
+    ivar = fb.counted_loop(calls, "body", "done")
+    i = fb.load_local(ivar)
+    # Redundant, optimizer-removable constant computation per iteration.
+    dead = fb.const(7)
+    for step in range(redundancy):
+        dead = fb.add(fb.mul(dead, 3), step)  # constant-foldable chain
+    live = fb.band(dead, 0xFF)  # folds to a constant
+    result = fb.call(leaves[0], [fb.add(i, live)])
+    fb.store_local("acc", fb.add(fb.load_local("acc"), result))
+    fb.loop_backedge(ivar, "body")
+    fb.new_block("done")
+    fb.out(fb.band(fb.load_local("acc"), 0xFFFF_FFFF))
+    fb.ret(0)
+    return ir.finish()
+
+
+def experiment_opt_levels(
+    *,
+    seeds: Sequence[int] = (1,),
+    redundancies: Sequence[int] = (0, 10, 25),
+) -> Dict[str, Dict[str, float]]:
+    """Full-R2C overhead at -O0 vs -O1 on redundancy-laden code.
+
+    Optimization deletes the foldable arithmetic around every call while
+    the BTRA cost per call stays fixed, so the *relative* overhead rises
+    with the optimization level — context for the paper's choice to
+    report -O3 numbers as the (honest) worst case.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for redundancy in redundancies:
+        label = f"redundancy={redundancy}"
+        out[label] = {}
+        for level in (0, 1):
+            source = lambda r=redundancy: _redundant_call_workload(redundancy=r)
+            baseline = measure_config(
+                source, R2CConfig.baseline().replace(opt_level=level), seeds=seeds[:1]
+            )
+            protected = measure_config(
+                source, R2CConfig.full().replace(opt_level=level), seeds=seeds
+            )
+            out[label][f"O{level}"] = overhead_percent(protected, baseline)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Overhead decomposition by emitted-instruction tag
+# ---------------------------------------------------------------------------
+
+def experiment_overhead_decomposition(
+    *, benchmark: str = "omnetpp", seed: int = 1, btra_mode: str = "avx"
+) -> Dict[str, float]:
+    """Attribute full-R2C overhead to the instructions each feature emits.
+
+    Runs the protected binary with per-tag cycle attribution and reports
+    each diversification tag's share of the *added* cycles (plus the
+    residual: i-cache pressure on untagged code, frame growth, etc.).
+    A direct, measured version of the component analysis of Section 6.2.
+    """
+    from repro.machine.cpu import CPU
+    from repro.machine.costs import get_costs
+    from repro.machine.loader import load_binary
+
+    module = build_spec_benchmark(benchmark)
+    base_binary = compile_module(module, R2CConfig.baseline())
+    base_process = load_binary(base_binary, seed=seed)
+    base_process.register_service("attack_hook", lambda p, c: 0)
+    base = CPU(base_process, get_costs("epyc-rome")).run()
+
+    full_binary = compile_module(module, R2CConfig.full(seed=seed, btra_mode=btra_mode))
+    full_process = load_binary(full_binary, seed=seed)
+    full_process.register_service("attack_hook", lambda p, c: 0)
+    full = CPU(full_process, get_costs("epyc-rome"), attribute_tags=True).run()
+
+    added = full.cycles - base.cycles
+    decomposition: Dict[str, float] = {}
+    tagged_total = 0.0
+    for tag, cycles in sorted(full.tag_cycles.items()):
+        decomposition[tag] = 100.0 * cycles / added if added else 0.0
+        tagged_total += cycles
+    decomposition["(untagged residual)"] = (
+        100.0 * (added - tagged_total) / added if added else 0.0
+    )
+    decomposition["total_overhead_pct"] = 100.0 * added / base.cycles
+    return decomposition

@@ -1,0 +1,119 @@
+"""Compile/load/run plumbing for the performance experiments.
+
+Methodology mirrors Section 6.2 of the paper:
+
+* protected binaries are **recompiled with a different seed for every
+  run** ("since the location of return addresses and the distribution of
+  BTDPs is random, we recompiled the benchmarks with a different seed for
+  each of the executions");
+* the reported number is the **median** across runs;
+* the baseline is the same compiler with R2C disabled.
+
+Because the simulator is deterministic, a (build seed, load seed) pair
+fully determines a run; varying seeds plays the role of run-to-run noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+from repro.core.compiler import compile_module
+from repro.core.config import R2CConfig
+from repro.eval.stats import median
+from repro.machine.costs import get_costs
+from repro.machine.cpu import CPU
+from repro.machine.loader import load_binary
+from repro.toolchain.ir import Module
+
+ModuleSource = Union[Module, Callable[[], Module]]
+
+
+@dataclass
+class RunStats:
+    """Metrics from one run."""
+
+    cycles: float
+    instructions: int
+    calls: int
+    max_rss: int
+    icache_misses: int
+    exit_code: int
+    output: Tuple[int, ...]
+
+
+def _materialize(source: ModuleSource) -> Module:
+    return source() if callable(source) else source
+
+
+def run_module(
+    module: Module,
+    config: Optional[R2CConfig] = None,
+    *,
+    machine: str = "epyc-rome",
+    load_seed: int = 1,
+    instruction_budget: int = 50_000_000,
+    heap_size: int = 8 * 1024 * 1024,
+) -> RunStats:
+    """Compile under ``config``, load, run to completion, collect metrics."""
+    binary = compile_module(module, config)
+    process = load_binary(binary, seed=load_seed, heap_size=heap_size)
+    process.register_service("attack_hook", lambda proc, cpu: 0)
+    cpu = CPU(process, get_costs(machine), instruction_budget=instruction_budget)
+    result = cpu.run()
+    process.note_resident()
+    return RunStats(
+        cycles=result.cycles,
+        instructions=result.instructions,
+        calls=result.calls,
+        max_rss=process.max_rss,
+        icache_misses=result.icache_misses,
+        exit_code=result.exit_code,
+        output=tuple(result.output),
+    )
+
+
+def measure_config(
+    source: ModuleSource,
+    config: R2CConfig,
+    *,
+    machine: str = "epyc-rome",
+    seeds: Sequence[int] = (1, 2, 3),
+    metric: str = "cycles",
+) -> float:
+    """Median metric across per-seed recompilations of ``source``."""
+    values = []
+    for seed in seeds:
+        stats = run_module(
+            _materialize(source),
+            config.replace(seed=seed),
+            machine=machine,
+            load_seed=seed,
+        )
+        values.append(getattr(stats, metric))
+    return median(values)
+
+
+def measure_overhead(
+    source: ModuleSource,
+    config: R2CConfig,
+    *,
+    machine: str = "epyc-rome",
+    seeds: Sequence[int] = (1, 2, 3),
+    metric: str = "cycles",
+) -> float:
+    """Protected/baseline metric ratio (1.0 = no overhead)."""
+    protected = measure_config(source, config, machine=machine, seeds=seeds, metric=metric)
+    baseline = measure_config(
+        source, R2CConfig.baseline(), machine=machine, seeds=seeds[:1], metric=metric
+    )
+    return protected / baseline
+
+
+def verify_equivalence(
+    module: Module, config: R2CConfig, *, load_seed: int = 1
+) -> bool:
+    """Check the diversified binary computes what the baseline computes."""
+    base = run_module(module, R2CConfig.baseline(), load_seed=load_seed)
+    protected = run_module(module, config, load_seed=load_seed)
+    return (base.exit_code, base.output) == (protected.exit_code, protected.output)

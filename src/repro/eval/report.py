@@ -1,0 +1,144 @@
+"""Text renderers that print experiment results in the paper's shapes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.workloads.victim import ATTACK_ARG  # noqa: F401  (re-export convenience)
+
+
+def render_table1(rows: Dict[str, Dict[str, object]]) -> str:
+    """Render the Table 1 component-overhead summary (max / geomean)."""
+    lines = ["Component overheads (ratio to baseline)", ""]
+    lines.append(f"{'':8s} {'max':>6s} {'geomean':>8s}")
+    for label, row in rows.items():
+        lines.append(f"{label:8s} {row['max']:6.2f} {row['geomean']:8.2f}")
+    return "\n".join(lines)
+
+
+def render_table2(counts: Dict[str, int]) -> str:
+    lines = ["Median call frequencies (simulated runs)", ""]
+    lines.append(f"{'Benchmark':12s} {'Call Frequency':>14s}")
+    for name, value in counts.items():
+        lines.append(f"{name:12s} {value:14,d}")
+    return "\n".join(lines)
+
+
+def render_figure6(data: Dict[str, Dict[str, float]]) -> str:
+    machines = sorted(next(iter(data.values())).keys())
+    lines = ["Full R2C overhead (%) per benchmark and machine", ""]
+    header = f"{'benchmark':12s}" + "".join(f"{m:>11s}" for m in machines)
+    lines.append(header)
+    for name, per_machine in data.items():
+        row = f"{name:12s}" + "".join(f"{per_machine[m]:11.1f}" for m in machines)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_webserver(data: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Webserver throughput decrease (%)", ""]
+    machines = sorted(next(iter(data.values())).keys())
+    lines.append(f"{'server':8s}" + "".join(f"{m:>11s}" for m in machines))
+    for server, per_machine in data.items():
+        lines.append(f"{server:8s}" + "".join(f"{per_machine[m]:11.1f}" for m in machines))
+    return "\n".join(lines)
+
+
+def render_memory(data: Dict[str, object]) -> str:
+    lines = ["Memory (maxrss) overhead (%)", ""]
+    for name, pct in data["spec"].items():
+        lines.append(f"  SPEC {name:12s} {pct:6.1f}%")
+    for server, pct in data["webserver"].items():
+        share = data["btdp_share"][server]
+        lines.append(f"  {server:17s} {pct:6.1f}%   ({share:.0f}% of overhead from BTDP pages)")
+    return "\n".join(lines)
+
+
+def render_scalability(rows: List[Dict[str, object]]) -> str:
+    lines = ["Scalability: browser-scale corpora under full R2C", ""]
+    lines.append(
+        f"{'functions':>10s} {'instrs':>9s} {'text KiB':>9s} {'compile s':>10s} {'verified':>9s}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['functions']:>10d} {row['instructions']:>9d} "
+            f"{row['text_bytes'] / 1024:>9.1f} {row['compile_seconds']:>10.2f} "
+            f"{str(row['verified']):>9s}"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(matrix: Dict[str, Dict[str, Dict[str, int]]]) -> str:
+    """Render the defense-comparison matrix with the paper's circles:
+    a defense gets ● for an attack class when no trial succeeded."""
+    attacks = list(next(iter(matrix.values())).keys())
+    lines = ["Defense comparison (● = attack never succeeded, ◐ = mixed, ○ = attack succeeds)", ""]
+    lines.append(f"{'defense':12s}" + "".join(f"{a:>17s}" for a in attacks))
+    for defense, row in matrix.items():
+        cells = []
+        for attack in attacks:
+            tallies = row[attack]
+            total = sum(tallies.values())
+            successes = tallies["success"]
+            if successes == 0:
+                mark = "●"
+            elif successes == total:
+                mark = "○"
+            else:
+                mark = "◐"
+            cells.append(f"{mark} ({successes}/{total})".rjust(17))
+        lines.append(f"{defense:12s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_security_probabilities(data: Dict[str, object]) -> str:
+    lines = ["BTRA guessing probability: closed form vs Monte Carlo", ""]
+    for n, closed in data["btra_closed_form"].items():
+        measured = data["btra_measured"][n]
+        lines.append(f"  n={n}: closed={closed:.7f}  measured={measured:.7f}")
+    frac = data["heap_benign_fraction"]
+    if frac is not None:
+        lines.append("")
+        lines.append(
+            f"Heap-pointer cluster: benign fraction H/(H+B) measured = {frac:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_btra_sweep(data) -> str:
+    lines = ["BTRA count sweep (overhead vs guessing probability)", ""]
+    lines.append(f"{'BTRAs':>6s} {'overhead %':>11s} {'P(guess RA)':>12s}")
+    for count, row in data.items():
+        lines.append(
+            f"{count:6d} {row['overhead_pct']:11.1f} {row['guess_probability']:12.4f}"
+        )
+    return "\n".join(lines)
+
+
+def render_btdp_sweep(data) -> str:
+    lines = ["BTDP density sweep (overhead vs benign heap-pointer fraction)", ""]
+    lines.append(f"{'max/fn':>6s} {'overhead %':>11s} {'H/(H+B)':>9s}")
+    for maximum, row in data.items():
+        lines.append(
+            f"{maximum:6d} {row['overhead_pct']:11.1f} {row['benign_fraction']:9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_opt_levels(data) -> str:
+    lines = ["Full-R2C overhead by optimization level", ""]
+    lines.append(f"{'benchmark':12s} {'-O0 %':>8s} {'-O1 %':>8s}")
+    for name, row in data.items():
+        lines.append(f"{name:12s} {row['O0']:8.1f} {row['O1']:8.1f}")
+    return "\n".join(lines)
+
+
+def render_decomposition(data: Dict[str, float]) -> str:
+    total = data.get("total_overhead_pct", 0.0)
+    lines = [f"Overhead decomposition by emitted-instruction tag "
+             f"(total overhead {total:.1f}%)", ""]
+    for tag, share in data.items():
+        if tag == "total_overhead_pct":
+            continue
+        lines.append(f"  {tag:24s} {share:6.1f}% of added cycles")
+    return "\n".join(lines)

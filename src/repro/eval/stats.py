@@ -1,0 +1,39 @@
+"""Statistics helpers for the evaluation."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for SPEC overheads)."""
+    items = [float(v) for v in values]
+    if not items:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def median(values: Sequence[float]) -> float:
+    items = sorted(float(v) for v in values)
+    if not items:
+        raise ValueError("median of empty sequence")
+    mid = len(items) // 2
+    if len(items) % 2:
+        return items[mid]
+    return (items[mid - 1] + items[mid]) / 2.0
+
+
+def overhead_percent(protected: float, baseline: float) -> float:
+    """Relative overhead in percent: 100 * (protected/baseline - 1)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (protected / baseline - 1.0)
+
+
+def ratio_summary(ratios: Dict[str, float]) -> Dict[str, float]:
+    """max and geomean of a name->ratio map (the Table 1 row format)."""
+    values: List[float] = list(ratios.values())
+    return {"max": max(values), "geomean": geomean(values)}

@@ -1,0 +1,5 @@
+"""Heap management substrate (the "glibc malloc" of the simulation)."""
+
+from repro.heap.allocator import Allocator, HEADER_SIZE
+
+__all__ = ["Allocator", "HEADER_SIZE"]

@@ -1,0 +1,162 @@
+"""A first-fit heap allocator over the process heap region.
+
+The BTDP runtime (Section 5.2 of the paper) leans on two allocator
+behaviours that this implementation reproduces:
+
+* it can return **page-aligned, page-sized** chunks scattered across the
+  heap, which the R2C constructor turns into guard pages;
+* chunks that are *never freed* are never reused for other allocations, so
+  revoking read permission on a guard page cannot break an unrelated
+  allocation sharing the page.
+
+Every chunk carries a 16-byte in-band header (size + magic) in guest
+memory, so heap metadata is itself observable/corruptible by attack code —
+as on a real system.  Double frees and foreign pointers are detected via
+the magic and a live-set check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AllocatorError
+from repro.machine.memory import Memory, PAGE_SIZE
+
+HEADER_SIZE = 16
+ALLOC_MAGIC = 0x5245_5052_4F48_4541  # "REPROHEA"
+ALIGN = 16
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+class Allocator:
+    """First-fit free-list allocator with coalescing.
+
+    Operates directly on guest :class:`Memory` so that headers live in the
+    simulated address space.  The allocator itself is host code (the
+    substrate boundary: guest programs reach it through the ``malloc`` /
+    ``free`` runtime services registered by the loader).
+    """
+
+    def __init__(self, memory: Memory, base: int, size: int):
+        if base % PAGE_SIZE:
+            raise AllocatorError("heap base must be page aligned")
+        self.memory = memory
+        self.base = base
+        self.size = size
+        # Sorted, disjoint free ranges [start, end).
+        self._free: List[Tuple[int, int]] = [(base, base + size)]
+        # payload address -> payload size, for live allocations.
+        self._live: Dict[int, int] = {}
+        self.allocated_bytes = 0
+        self.peak_allocated = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes, 16-byte aligned.  Returns the payload address."""
+        return self._allocate(size, ALIGN)
+
+    def malloc_aligned(self, size: int, align: int) -> int:
+        """Allocate with a stronger alignment (e.g. PAGE_SIZE for guard pages)."""
+        if align < ALIGN or align & (align - 1):
+            raise AllocatorError(f"bad alignment {align}")
+        return self._allocate(size, align)
+
+    def free(self, payload: int) -> None:
+        """Release an allocation.  Detects double frees and wild pointers."""
+        size = self._live.pop(payload, None)
+        if size is None:
+            raise AllocatorError(f"free of non-allocated pointer {payload:#x}")
+        header = payload - HEADER_SIZE
+        magic = self.memory.load_word_raw(header + 8)
+        if magic != ALLOC_MAGIC:
+            raise AllocatorError(f"corrupt chunk header at {header:#x}")
+        self.memory.store_word_raw(header + 8, 0)
+        self.allocated_bytes -= size
+        total = _align_up(size, ALIGN) + HEADER_SIZE
+        self._release(header, header + total)
+
+    def usable_size(self, payload: int) -> int:
+        size = self._live.get(payload)
+        if size is None:
+            raise AllocatorError(f"pointer {payload:#x} is not a live allocation")
+        return size
+
+    def is_live(self, payload: int) -> bool:
+        return payload in self._live
+
+    def live_allocations(self) -> Dict[int, int]:
+        """Return a copy of the live payload->size map (for tests/metrics)."""
+        return dict(self._live)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _allocate(self, size: int, align: int) -> int:
+        if size <= 0:
+            raise AllocatorError(f"bad allocation size {size}")
+        for i, (start, end) in enumerate(self._free):
+            payload = _align_up(start + HEADER_SIZE, align)
+            chunk_end = payload + _align_up(size, ALIGN)
+            if chunk_end > end:
+                continue
+            header = payload - HEADER_SIZE
+            # Return the unused head/tail of the range to the free list.
+            replacement: List[Tuple[int, int]] = []
+            if header > start:
+                replacement.append((start, header))
+            if chunk_end < end:
+                replacement.append((chunk_end, end))
+            self._free[i : i + 1] = replacement
+            self.memory.store_word_raw(header, size)
+            self.memory.store_word_raw(header + 8, ALLOC_MAGIC)
+            self._live[payload] = size
+            self.allocated_bytes += size
+            if self.allocated_bytes > self.peak_allocated:
+                self.peak_allocated = self.allocated_bytes
+            return payload
+        raise AllocatorError(f"out of heap memory allocating {size} bytes")
+
+    def _release(self, start: int, end: int) -> None:
+        """Insert [start, end) into the free list, coalescing neighbours."""
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < start:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (start, end))
+        self._coalesce_around(lo)
+
+    def _coalesce_around(self, index: int) -> None:
+        free = self._free
+        # Merge with successor first so the index stays valid.
+        if index + 1 < len(free) and free[index][1] == free[index + 1][0]:
+            free[index] = (free[index][0], free[index + 1][1])
+            del free[index + 1]
+        if index > 0 and free[index - 1][1] == free[index][0]:
+            free[index - 1] = (free[index - 1][0], free[index][1])
+            del free[index]
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Raise AllocatorError if the free list is unsorted or overlapping."""
+        prev_end: Optional[int] = None
+        for start, end in self._free:
+            if start >= end:
+                raise AllocatorError(f"empty/inverted free range {start:#x}..{end:#x}")
+            if prev_end is not None and start < prev_end:
+                raise AllocatorError("overlapping free ranges")
+            if start < self.base or end > self.base + self.size:
+                raise AllocatorError("free range outside heap")
+            prev_end = end
+        for payload, size in self._live.items():
+            for start, end in self._free:
+                if payload < end and payload + size > start:
+                    raise AllocatorError(
+                        f"live allocation {payload:#x} overlaps free range"
+                    )

@@ -1,0 +1,123 @@
+"""A small debugger over the CPU trace hook.
+
+Supports breakpoints (by address or symbol), single-stepping, and memory
+watchpoints.  Execution state lives in the wrapped CPU, so a debugging
+session can alternate between stepping, running to breakpoints, and
+inspecting memory — the tooling used by the race-window ablation and
+handy for diagnosing diversified binaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.machine.cpu import CPU, ExecutionResult
+from repro.machine.isa import Instruction
+
+
+class _Stop(Exception):
+    """Internal control-flow signal: pause execution before `rip`."""
+
+
+class Debugger:
+    """Wraps a CPU with breakpoints, stepping, and watchpoints."""
+
+    def __init__(self, cpu: CPU):
+        if cpu.trace_fn is not None:
+            raise ValueError("CPU already has a trace function installed")
+        self.cpu = cpu
+        self.breakpoints: Set[int] = set()
+        self.watchpoints: Dict[int, int] = {}  # address -> last seen value
+        self.watch_hits: List[Dict] = []
+        self.result = ExecutionResult()
+        self._steps_left: Optional[int] = None
+        self._armed = False
+        self._started = False
+        self._finished = False
+        self._skip_breakpoint_once = False
+        cpu.trace_fn = self._trace
+
+    # -- configuration ----------------------------------------------------
+
+    def add_breakpoint(self, address: int) -> None:
+        self.breakpoints.add(address)
+
+    def break_at(self, symbol: str) -> int:
+        """Breakpoint at a symbol; returns the resolved address."""
+        address = self.cpu.process.symbols[symbol]
+        self.add_breakpoint(address)
+        return address
+
+    def remove_breakpoint(self, address: int) -> None:
+        self.breakpoints.discard(address)
+
+    def add_watchpoint(self, address: int) -> None:
+        self.watchpoints[address] = self.cpu.process.memory.load_word_raw(address)
+
+    # -- execution ----------------------------------------------------------
+
+    def _trace(self, cpu: CPU, rip: int, instr: Instruction) -> None:
+        for address, old in list(self.watchpoints.items()):
+            new = cpu.process.memory.load_word_raw(address)
+            if new != old:
+                self.watch_hits.append(
+                    {"address": address, "old": old, "new": new, "rip": rip}
+                )
+                self.watchpoints[address] = new
+        if not self._armed:
+            return
+        if self._steps_left is not None:
+            if self._steps_left == 0:
+                self._skip_breakpoint_once = rip in self.breakpoints
+                raise _Stop()
+            self._steps_left -= 1
+        elif rip in self.breakpoints and self._started and not self._skip_breakpoint_once:
+            self._skip_breakpoint_once = True
+            raise _Stop()
+        else:
+            self._skip_breakpoint_once = False
+        self._started = True
+
+    def _resume(self) -> bool:
+        """Run until the next stop; returns True if the program finished."""
+        entry = self.cpu.rip if self._started else None
+        try:
+            self.cpu.run(entry=entry, result=self.result)
+        except _Stop:
+            return False
+        self._finished = True
+        return True
+
+    def cont(self) -> bool:
+        """Continue to the next breakpoint (or program exit)."""
+        self._armed = True
+        self._steps_left = None
+        return self._resume()
+
+    def step(self, count: int = 1) -> bool:
+        """Execute ``count`` instructions, then stop."""
+        self._armed = True
+        self._steps_left = count
+        finished = self._resume()
+        self._steps_left = None
+        return finished
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def rip(self) -> int:
+        return self.cpu.rip
+
+    def current_function(self) -> Optional[str]:
+        process = self.cpu.process
+        if process.binary is None:
+            return None
+        return process.binary.function_at_offset(self.rip - process.text_base)
+
+    def read_words(self, address: int, count: int) -> List[int]:
+        memory = self.cpu.process.memory
+        return [memory.load_word_raw(address + 8 * k) for k in range(count)]

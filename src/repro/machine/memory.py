@@ -1,0 +1,213 @@
+"""Paged virtual memory with per-page permissions.
+
+The memory model is the part of the substrate R2C's reactive features rest
+on.  Three permission configurations matter:
+
+* **execute-only** (``Perm.X`` without ``Perm.R``): the text section is
+  mapped this way, so an attacker's read primitive cannot disclose code —
+  the leakage-resilience baseline R2C assumes (Section 3 of the paper).
+* **guard pages** (``Perm.NONE``): the R2C runtime constructor strips read
+  permission from the heap pages BTDPs point into; any dereference raises
+  :class:`~repro.errors.GuardPageFault`, the "immediate fault, giving
+  defenders a way to respond" of Section 4.2.
+* ordinary ``RW`` data / stack pages, which the attacker *can* read — the
+  whole point of the paper is surviving that.
+
+Addresses are 64-bit; words are little-endian 8-byte integers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import GuardPageFault, MemoryFault
+
+PAGE_SIZE = 4096
+PAGE_MASK = PAGE_SIZE - 1
+WORD_BYTES = 8
+
+
+class Perm(enum.IntFlag):
+    """Page permission bits (mmap/mprotect style)."""
+
+    NONE = 0
+    R = 1
+    W = 2
+    X = 4
+    RW = R | W
+    RX = R | X
+    RWX = R | W | X
+
+
+def page_base(address: int) -> int:
+    """Return the base address of the page containing ``address``."""
+    return address & ~PAGE_MASK
+
+
+def page_range(address: int, size: int) -> Iterator[int]:
+    """Yield the base of every page overlapped by ``[address, address+size)``."""
+    if size <= 0:
+        return
+    first = page_base(address)
+    last = page_base(address + size - 1)
+    for base in range(first, last + 1, PAGE_SIZE):
+        yield base
+
+
+class _Page:
+    """One mapped page: backing bytes plus its current permissions."""
+
+    __slots__ = ("data", "perm", "guard")
+
+    def __init__(self, perm: Perm, guard: bool = False):
+        self.data = bytearray(PAGE_SIZE)
+        self.perm = perm
+        self.guard = guard
+
+
+class Memory:
+    """Sparse paged address space.
+
+    Pages are materialized on :meth:`map_region` and checked on every
+    access.  A page flagged as *guard* raises :class:`GuardPageFault`
+    instead of the generic :class:`MemoryFault` so the attack monitor can
+    attribute the crash to a booby trap.
+    """
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, _Page] = {}
+        # Pages actually touched by any access — the resident set.  Mapping
+        # a region does not make it resident (demand paging), which is what
+        # lets the maxrss experiment of Section 6.2.5 distinguish BTDP guard
+        # pages (touched by the allocator) from merely reserved space.
+        self._touched: set = set()
+
+    # -- mapping -----------------------------------------------------------
+
+    def map_region(self, address: int, size: int, perm: Perm) -> None:
+        """Map ``size`` bytes at ``address`` (page-granular) with ``perm``."""
+        for base in page_range(address, size):
+            if base in self._pages:
+                raise MemoryFault("write", base, "already mapped")
+            self._pages[base] = _Page(perm)
+
+    def unmap_region(self, address: int, size: int) -> None:
+        for base in page_range(address, size):
+            self._pages.pop(base, None)
+
+    def protect(self, address: int, size: int, perm: Perm, *, guard: bool = False) -> None:
+        """Change permissions of mapped pages (mprotect analogue).
+
+        ``guard=True`` marks the pages as booby-trap guard pages so that
+        faults on them are classified as detections.
+        """
+        for base in page_range(address, size):
+            page = self._pages.get(base)
+            if page is None:
+                raise MemoryFault("write", base, "unmapped")
+            page.perm = perm
+            page.guard = guard
+
+    def is_mapped(self, address: int) -> bool:
+        return page_base(address) in self._pages
+
+    def perm_at(self, address: int) -> Optional[Perm]:
+        page = self._pages.get(page_base(address))
+        return None if page is None else page.perm
+
+    def is_guard(self, address: int) -> bool:
+        page = self._pages.get(page_base(address))
+        return bool(page and page.guard)
+
+    def mapped_pages(self) -> List[Tuple[int, Perm]]:
+        """Return (base, perm) for every mapped page, sorted by address."""
+        return sorted((base, page.perm) for base, page in self._pages.items())
+
+    def resident_bytes(self) -> int:
+        """Total bytes of *touched* pages — the maxrss analogue (Section 6.2.5)."""
+        return len(self._touched) * PAGE_SIZE
+
+    # -- access checks -----------------------------------------------------
+
+    def _check(self, kind: str, need: Perm, address: int, size: int) -> None:
+        for base in page_range(address, size):
+            page = self._pages.get(base)
+            if page is None:
+                raise MemoryFault(kind, address, "unmapped")
+            if not (page.perm & need):
+                if page.guard:
+                    raise GuardPageFault(kind, address, "guard page")
+                raise MemoryFault(kind, address, "protection")
+
+    # -- data access -------------------------------------------------------
+
+    def read(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes; requires ``Perm.R`` on every touched page."""
+        self._check("read", Perm.R, address, size)
+        return self._copy_out(address, size)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write bytes; requires ``Perm.W`` on every touched page."""
+        self._check("write", Perm.W, address, len(data))
+        self._copy_in(address, data)
+
+    def read_word(self, address: int) -> int:
+        return int.from_bytes(self.read(address, WORD_BYTES), "little")
+
+    def write_word(self, address: int, value: int) -> None:
+        self.write(address, (value & (2**64 - 1)).to_bytes(WORD_BYTES, "little"))
+
+    def fetch_check(self, address: int, size: int = 1) -> None:
+        """Verify that instruction fetch from ``address`` is allowed."""
+        self._check("fetch", Perm.X, address, size)
+        self._touched.add(address & ~PAGE_MASK)
+
+    # -- privileged access (loader / runtime, bypasses permissions) ---------
+
+    def store_raw(self, address: int, data: bytes) -> None:
+        """Write ignoring permissions.  Used by the loader and runtime only."""
+        for base in page_range(address, len(data)):
+            if base not in self._pages:
+                raise MemoryFault("write", base, "unmapped")
+        self._copy_in(address, data)
+
+    def load_raw(self, address: int, size: int) -> bytes:
+        """Read ignoring permissions.  Used by the runtime/debugger only."""
+        for base in page_range(address, size):
+            if base not in self._pages:
+                raise MemoryFault("read", base, "unmapped")
+        return self._copy_out(address, size)
+
+    def store_word_raw(self, address: int, value: int) -> None:
+        self.store_raw(address, (value & (2**64 - 1)).to_bytes(WORD_BYTES, "little"))
+
+    def load_word_raw(self, address: int) -> int:
+        return int.from_bytes(self.load_raw(address, WORD_BYTES), "little")
+
+    # -- internals ----------------------------------------------------------
+
+    def _copy_out(self, address: int, size: int) -> bytes:
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            addr = address + pos
+            base = page_base(addr)
+            offset = addr - base
+            take = min(PAGE_SIZE - offset, size - pos)
+            out[pos : pos + take] = self._pages[base].data[offset : offset + take]
+            self._touched.add(base)
+            pos += take
+        return bytes(out)
+
+    def _copy_in(self, address: int, data: bytes) -> None:
+        pos = 0
+        size = len(data)
+        while pos < size:
+            addr = address + pos
+            base = page_base(addr)
+            offset = addr - base
+            take = min(PAGE_SIZE - offset, size - pos)
+            self._pages[base].data[offset : offset + take] = data[pos : pos + take]
+            self._touched.add(base)
+            pos += take

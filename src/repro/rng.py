@@ -1,0 +1,70 @@
+"""Deterministic randomness for diversification and simulation.
+
+All random decisions in the package flow through :class:`DiversityRng`, a
+thin wrapper over :class:`random.Random` that can spawn independent child
+streams.  Child streams make diversification passes order-independent: the
+BTRA pass and the BTDP pass each derive their own stream from the build
+seed, so adding a pass never perturbs the decisions of another.  This
+mirrors how the real R2C compiler re-seeds per compilation ("we recompiled
+the benchmarks with a different seed for each of the executions",
+Section 6.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _derive_seed(seed: int, label: str) -> int:
+    """Derive a stable 64-bit child seed from a parent seed and a label."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class DiversityRng:
+    """A seeded random stream with labelled, independent child streams."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def child(self, label: str) -> "DiversityRng":
+        """Return an independent stream derived from this one.
+
+        The same ``(seed, label)`` pair always yields the same stream,
+        regardless of how much randomness has been consumed elsewhere.
+        """
+        return DiversityRng(_derive_seed(self.seed, label))
+
+    # -- primitive draws ---------------------------------------------------
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi]."""
+        return self._rng.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, items: List[T]) -> List[T]:
+        """Shuffle ``items`` in place and return it for chaining."""
+        self._rng.shuffle(items)
+        return items
+
+    def shuffled(self, items: Iterable[T]) -> List[T]:
+        """Return a new shuffled list, leaving the input untouched."""
+        out = list(items)
+        self._rng.shuffle(out)
+        return out
+
+    def bool(self, p_true: float = 0.5) -> bool:
+        return self._rng.random() < p_true

@@ -1,0 +1,119 @@
+"""Linked binary representation.
+
+A :class:`Binary` is position-independent: the text stream and data image
+are laid out at offset 0 and carry symbolic relocations; the loader
+(:mod:`repro.machine.loader`) rebases them under ASLR, mirroring a PIE
+executable.  Besides code and data it carries:
+
+* **frame records** — the ``.eh_frame`` analogue (Section 7.2.4): per
+  function, the frame size, the BTRA post-offset, and the PC range.  Rows
+  are keyed by PC ranges, not symbols, and their order follows the
+  (shuffled) text layout — which is why function reordering invalidates
+  row-based inference, as the paper argues.
+* **call-site records** — per call site, the pre-offset and the stack-arg
+  cleanup, enough for a precise unwinder.  These are *defender-side*
+  metadata: attack code never reads them; tests and the unwinder do.
+* **constructors** — host-side initialization run by the loader before
+  ``_start`` (the R2C runtime constructor of Section 5.2 registers here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import LinkError
+from repro.machine.isa import Instruction
+
+
+@dataclass
+class FrameRecord:
+    """Unwind/frame info for one function (one .eh_frame FDE).
+
+    ``slot_offsets`` (byte offsets of frame slots from the post-setup rsp)
+    is recoverable from any binary by static analysis, so an attacker may
+    legitimately use it *for their own copy* of the software — never for
+    the victim's.
+    """
+
+    name: str
+    entry_offset: int
+    end_offset: int
+    frame_bytes: int
+    post_offset: int
+    protected: bool
+    has_stack_args: bool
+    slot_offsets: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class CallSiteRecord:
+    """Defender-side ground truth for one lowered call site."""
+
+    ret_offset: int  # text offset the call returns to
+    caller: str
+    callee: Optional[str]  # None for indirect calls
+    pre_words: int  # BTRAs above the return address
+    post_words: int  # BTRAs pushed below the return address
+    cleanup_words: int  # stack args + alignment pad popped after the call
+    uses_btra: bool = False
+    use_avx: bool = False
+
+
+Constructor = Callable[..., None]
+
+
+@dataclass
+class Binary:
+    """A linked, position-independent program image."""
+
+    name: str
+    text: List[Tuple[int, Instruction]] = field(default_factory=list)
+    text_size: int = 0
+    data_image: bytearray = field(default_factory=bytearray)
+    data_relocs: List[Tuple[int, str, int]] = field(default_factory=list)
+    data_size: int = 0
+    symbols_text: Dict[str, int] = field(default_factory=dict)
+    symbols_data: Dict[str, int] = field(default_factory=dict)
+    frame_records: Dict[str, FrameRecord] = field(default_factory=dict)
+    callsite_records: Dict[int, CallSiteRecord] = field(default_factory=dict)
+    constructors: List[Constructor] = field(default_factory=list)
+    entry_symbol: str = "_start"
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def symbol_offset(self, name: str) -> Tuple[str, int]:
+        """Return ("text"|"data", offset) for a symbol."""
+        if name in self.symbols_text:
+            return "text", self.symbols_text[name]
+        if name in self.symbols_data:
+            return "data", self.symbols_data[name]
+        raise LinkError(f"undefined symbol {name!r}")
+
+    def function_names(self) -> List[str]:
+        return list(self.frame_records)
+
+    def function_range(self, name: str) -> Tuple[int, int]:
+        record = self.frame_records[name]
+        return record.entry_offset, record.end_offset
+
+    def function_at_offset(self, offset: int) -> Optional[str]:
+        for name, record in self.frame_records.items():
+            if record.entry_offset <= offset < record.end_offset:
+                return name
+        return None
+
+    def eh_frame_rows(self) -> List[Tuple[int, int, int, int]]:
+        """The .eh_frame analogue: (pc_start, pc_end, frame_bytes, post_offset).
+
+        Rows are ordered by PC — i.e. by the (shuffled) text layout — and
+        carry no symbol names, matching Section 7.2.4.
+        """
+        rows = [
+            (r.entry_offset, r.end_offset, r.frame_bytes, r.post_offset)
+            for r in self.frame_records.values()
+        ]
+        rows.sort()
+        return rows
+
+    def instruction_count(self) -> int:
+        return len(self.text)

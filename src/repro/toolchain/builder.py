@@ -1,0 +1,258 @@
+"""Fluent construction API for IR modules.
+
+``IRBuilder`` creates modules; ``FunctionBuilder`` appends instructions to
+a current block and mints fresh virtual registers.  All the workloads and
+examples are written against this API, so it doubles as the package's
+"frontend".
+
+Example::
+
+    ir = IRBuilder("demo")
+    f = ir.function("square", params=["x"])
+    r = f.mul(f.param("x"), f.param("x"))
+    f.ret(r)
+    main = ir.function("main")
+    main.out(main.call("square", [7]))
+    main.ret(0)
+    module = ir.finish()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ToolchainError
+from repro.toolchain.ir import (
+    BasicBlock,
+    Function,
+    GlobalVar,
+    IRInstr,
+    Module,
+    Operand,
+)
+
+
+class FunctionBuilder:
+    """Builds one function, block by block."""
+
+    def __init__(self, module: Module, fn: Function):
+        self._module = module
+        self.fn = fn
+        self._temp = 0
+        self._block: Optional[BasicBlock] = None
+        self.new_block("entry")
+
+    # -- structure ----------------------------------------------------------
+
+    def new_block(self, label: Optional[str] = None) -> str:
+        """Start a new block and make it current; returns its label."""
+        if label is None:
+            label = f"bb{len(self.fn.blocks)}"
+        block = BasicBlock(label)
+        self.fn.blocks.append(block)
+        self._block = block
+        return label
+
+    def switch_to(self, label: str) -> None:
+        self._block = self.fn.block(label)
+
+    def local(self, name: str, size_words: int = 1) -> str:
+        """Declare a stack local (scalar or word array); returns its name."""
+        if name in self.fn.locals:
+            raise ToolchainError(f"duplicate local {name!r}")
+        self.fn.locals[name] = size_words
+        return name
+
+    def param(self, name: str) -> str:
+        """Load a parameter's current value into a fresh vreg."""
+        if name not in self.fn.params:
+            raise ToolchainError(f"{name!r} is not a parameter of {self.fn.name}")
+        return self.load_local(name)
+
+    def fresh(self, hint: str = "t") -> str:
+        self._temp += 1
+        return f"%{hint}{self._temp}"
+
+    def _emit(self, op: str, *args) -> None:
+        if self._block is None:
+            raise ToolchainError("no current block")
+        if self._block.terminator is not None:
+            raise ToolchainError(
+                f"{self.fn.name}/{self._block.label}: emitting after terminator"
+            )
+        self._block.instrs.append(IRInstr(op, tuple(args)))
+
+    # -- values ---------------------------------------------------------------
+
+    def const(self, value: int) -> str:
+        dst = self.fresh("c")
+        self._emit("const", dst, value)
+        return dst
+
+    def _bin(self, op: str, a: Operand, b: Operand) -> str:
+        dst = self.fresh(op)
+        self._emit("bin", op, dst, a, b)
+        return dst
+
+    def add(self, a: Operand, b: Operand) -> str:
+        return self._bin("add", a, b)
+
+    def sub(self, a: Operand, b: Operand) -> str:
+        return self._bin("sub", a, b)
+
+    def mul(self, a: Operand, b: Operand) -> str:
+        return self._bin("mul", a, b)
+
+    def div(self, a: Operand, b: Operand) -> str:
+        return self._bin("div", a, b)
+
+    def mod(self, a: Operand, b: Operand) -> str:
+        return self._bin("mod", a, b)
+
+    def band(self, a: Operand, b: Operand) -> str:
+        return self._bin("and", a, b)
+
+    def bor(self, a: Operand, b: Operand) -> str:
+        return self._bin("or", a, b)
+
+    def bxor(self, a: Operand, b: Operand) -> str:
+        return self._bin("xor", a, b)
+
+    def shl(self, a: Operand, b: Operand) -> str:
+        return self._bin("shl", a, b)
+
+    def shr(self, a: Operand, b: Operand) -> str:
+        return self._bin("shr", a, b)
+
+    def cmp(self, pred: str, a: Operand, b: Operand) -> str:
+        dst = self.fresh("cmp")
+        self._emit("cmp", pred, dst, a, b)
+        return dst
+
+    # -- memory -----------------------------------------------------------------
+
+    def load(self, addr: Operand, offset: int = 0) -> str:
+        dst = self.fresh("ld")
+        self._emit("load", dst, addr, offset)
+        return dst
+
+    def store(self, addr: Operand, value: Operand, offset: int = 0) -> None:
+        self._emit("store", addr, offset, value)
+
+    def load_local(self, name: str, index: Operand = 0) -> str:
+        dst = self.fresh("l")
+        self._emit("local_load", dst, name, index)
+        return dst
+
+    def store_local(self, name: str, value: Operand, index: Operand = 0) -> None:
+        self._emit("local_store", name, index, value)
+
+    def addr_local(self, name: str) -> str:
+        dst = self.fresh("a")
+        self._emit("addr_local", dst, name)
+        return dst
+
+    def load_global(self, name: str, index: Operand = 0) -> str:
+        dst = self.fresh("g")
+        self._emit("global_load", dst, name, index)
+        return dst
+
+    def store_global(self, name: str, value: Operand, index: Operand = 0) -> None:
+        self._emit("global_store", name, index, value)
+
+    def addr_global(self, name: str) -> str:
+        dst = self.fresh("ga")
+        self._emit("addr_global", dst, name)
+        return dst
+
+    def func_addr(self, fname: str) -> str:
+        dst = self.fresh("fp")
+        self._emit("func_addr", dst, fname)
+        return dst
+
+    # -- calls -------------------------------------------------------------------
+
+    def call(self, fname: str, args: Sequence[Operand] = (), *, void: bool = False):
+        dst = None if void else self.fresh("r")
+        self._emit("call", dst, fname, tuple(args))
+        return dst
+
+    def icall(self, target: Operand, args: Sequence[Operand] = (), *, void: bool = False):
+        dst = None if void else self.fresh("r")
+        self._emit("icall", dst, target, tuple(args))
+        return dst
+
+    def rtcall(self, service: str, args: Sequence[Operand] = (), *, void: bool = False):
+        dst = None if void else self.fresh("r")
+        self._emit("rtcall", dst, service, tuple(args))
+        return dst
+
+    # -- control flow ----------------------------------------------------------
+
+    def br(self, label: str) -> None:
+        self._emit("br", label)
+
+    def cbr(self, cond: Operand, then_label: str, else_label: str) -> None:
+        self._emit("cbr", cond, then_label, else_label)
+
+    def ret(self, value: Optional[Operand] = None) -> None:
+        self._emit("ret", value)
+
+    def out(self, value: Operand) -> None:
+        self._emit("out", value)
+
+    # -- convenience -----------------------------------------------------------
+
+    def counted_loop(self, count: Operand, body_label: str, exit_label: str) -> str:
+        """Emit a loop header counting ``i`` from 0 to count-1.
+
+        Returns the name of the induction-variable local.  The caller emits
+        the body at ``body_label`` and must end it with
+        ``loop_backedge(...)``.  Kept deliberately explicit rather than
+        magical — workloads that need more control build loops by hand.
+        """
+        ivar = f"__i_{body_label}"
+        self.local(ivar)
+        self.store_local(ivar, 0)
+        self.br(f"{body_label}_header")
+        self.new_block(f"{body_label}_header")
+        i = self.load_local(ivar)
+        done = self.cmp("ge", i, count)
+        self.cbr(done, exit_label, body_label)
+        self.new_block(body_label)
+        return ivar
+
+    def loop_backedge(self, ivar: str, body_label: str) -> None:
+        i = self.load_local(ivar)
+        self.store_local(ivar, self.add(i, 1))
+        self.br(f"{body_label}_header")
+
+
+class IRBuilder:
+    """Builds a module."""
+
+    def __init__(self, name: str = "module"):
+        self.module = Module(name)
+        self._builders: Dict[str, FunctionBuilder] = {}
+
+    def function(
+        self, name: str, params: Sequence[str] = (), *, protected: bool = True
+    ) -> FunctionBuilder:
+        fn = Function(name, params=list(params), protected=protected)
+        self.module.add_function(fn)
+        builder = FunctionBuilder(self.module, fn)
+        self._builders[name] = builder
+        return builder
+
+    def global_var(
+        self,
+        name: str,
+        size_words: int = 1,
+        init: Sequence[Union[int, tuple]] = (),
+    ) -> GlobalVar:
+        return self.module.add_global(GlobalVar(name, size_words, tuple(init)))
+
+    def finish(self) -> Module:
+        """Validate and return the module."""
+        self.module.validate()
+        return self.module

@@ -1,0 +1,85 @@
+"""Disassembly/objdump-style rendering of linked binaries.
+
+Purely a developer tool: renders instructions with their text offsets,
+section maps, and per-function listings.  Useful for inspecting what the
+diversification passes actually emitted (``print(disassemble_function(
+binary, "main"))``) and used by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.machine.isa import Imm, Instruction, Label, Mem, Reg
+from repro.toolchain.binary import Binary
+
+
+def format_operand(operand) -> str:
+    if operand is None:
+        return ""
+    if isinstance(operand, Reg):
+        return operand.name.lower()
+    if isinstance(operand, Imm):
+        if operand.symbol is not None:
+            return f"${operand.symbol}+{operand.value:#x}" if operand.value else f"${operand.symbol}"
+        return f"${operand.value:#x}"
+    if isinstance(operand, Mem):
+        parts = []
+        if operand.symbol:
+            parts.append(operand.symbol)
+        if operand.base is not None:
+            parts.append(operand.base.name.lower())
+        if operand.index is not None:
+            parts.append(f"{operand.index.name.lower()}*{operand.scale}")
+        inner = "+".join(parts) if parts else ""
+        if operand.offset:
+            inner = f"{inner}{operand.offset:+#x}" if inner else f"{operand.offset:#x}"
+        return f"[{inner or '0x0'}]"
+    if isinstance(operand, Label):
+        return operand.name
+    return repr(operand)
+
+
+def format_instruction(offset: int, instr: Instruction) -> str:
+    operands = ", ".join(
+        text for text in (format_operand(instr.a), format_operand(instr.b)) if text
+    )
+    line = f"  {offset:#08x}:  {instr.op.value:<10s} {operands}"
+    if instr.tag:
+        line = f"{line:<58s}; {instr.tag}"
+    return line
+
+
+def disassemble_function(binary: Binary, name: str) -> str:
+    """objdump-style listing of one function."""
+    start, end = binary.function_range(name)
+    lines = [f"<{name}>:  ({end - start} bytes)"]
+    for offset, instr in binary.text:
+        if start <= offset < end:
+            lines.append(format_instruction(offset, instr))
+    return "\n".join(lines)
+
+
+def disassemble_binary(binary: Binary, *, functions: Optional[List[str]] = None) -> str:
+    """Full (or filtered) listing, in text-layout order."""
+    order = functions if functions is not None else sorted(
+        binary.frame_records, key=lambda n: binary.frame_records[n].entry_offset
+    )
+    return "\n\n".join(disassemble_function(binary, name) for name in order)
+
+
+def section_map(binary: Binary) -> str:
+    """Summarize the layout: functions with offsets/sizes, then globals."""
+    lines = [f"text: {binary.text_size} bytes, {len(binary.frame_records)} functions"]
+    for name, record in sorted(
+        binary.frame_records.items(), key=lambda kv: kv[1].entry_offset
+    ):
+        marker = "" if record.protected else "  [unprotected]"
+        lines.append(
+            f"  {record.entry_offset:#08x}  {record.end_offset - record.entry_offset:5d}B"
+            f"  {name}{marker}"
+        )
+    lines.append(f"data: {binary.data_size} bytes, {len(binary.symbols_data)} symbols")
+    for name, offset in sorted(binary.symbols_data.items(), key=lambda kv: kv[1]):
+        lines.append(f"  {offset:#08x}  {name}")
+    return "\n".join(lines)

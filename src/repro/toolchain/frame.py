@@ -1,0 +1,75 @@
+"""Stack-frame layout, with optional slot randomization.
+
+A frame holds, in (possibly shuffled) slot order: callee-saved register
+save slots, parameter homes, named locals, spill slots, BTDP slots, the
+OIA frame-pointer save slot, and a scratch word.  Shuffling the order is
+the *stack-slot randomization* of Section 4.2: it destroys the attacker's
+a-priori knowledge of the relative position of stack objects, and mixes
+BTDP slots in with benign pointers.
+
+The frame size obeys the alignment rule of Section 5.1: at every internal
+``call``, rsp must be 16-byte aligned.  On entry rsp ≡ 8 (mod 16) (the
+call pushed the return address onto an aligned stack); the callee then
+subtracts ``8 * post_offset`` (its BTRA post-offset) and the frame size,
+so the frame word count is padded until ``frame_words + post_offset + 1``
+is even.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ToolchainError
+from repro.machine.isa import WORD
+from repro.rng import DiversityRng
+
+
+@dataclass
+class FrameLayout:
+    """Resolved frame: byte offsets (from post-setup rsp) per slot name."""
+
+    offsets: Dict[str, int]
+    frame_bytes: int
+    slot_order: List[Tuple[str, int]]  # (name, size_words) in memory order
+
+    def offset(self, name: str) -> int:
+        try:
+            return self.offsets[name]
+        except KeyError:
+            raise ToolchainError(f"no frame slot {name!r}") from None
+
+
+def build_frame(
+    units: Sequence[Tuple[str, int]],
+    *,
+    post_offset: int = 0,
+    shuffle_rng: Optional[DiversityRng] = None,
+) -> FrameLayout:
+    """Lay out ``units`` (name, size_words) into a frame.
+
+    With ``shuffle_rng`` the unit order is randomized (stack-slot
+    randomization); otherwise units appear in declaration order.
+    """
+    order = list(units)
+    seen = set()
+    for name, words in order:
+        if words <= 0:
+            raise ToolchainError(f"slot {name!r} has non-positive size")
+        if name in seen:
+            raise ToolchainError(f"duplicate slot {name!r}")
+        seen.add(name)
+    if shuffle_rng is not None:
+        shuffle_rng.shuffle(order)
+
+    offsets: Dict[str, int] = {}
+    cursor = 0
+    for name, words in order:
+        offsets[name] = cursor
+        cursor += words * WORD
+
+    frame_words = cursor // WORD
+    # Pad so that rsp is 16-byte aligned after `sub rsp, 8*post` + `sub rsp, frame`.
+    if (frame_words + post_offset + 1) % 2 != 0:
+        frame_words += 1
+    return FrameLayout(offsets=offsets, frame_bytes=frame_words * WORD, slot_order=order)

@@ -1,0 +1,291 @@
+"""Reference interpreter for the IR — the toolchain's golden model.
+
+The compiler (any diversification configuration included) must be
+observationally equivalent to this interpreter: same ``out`` stream, same
+exit code.  The property-based tests in ``tests/test_equivalence.py``
+generate random programs and random R2C seeds and compare both.
+
+The interpreter gives locals, globals, and heap allocations synthetic
+addresses in disjoint ranges so that pointer arithmetic in the IR behaves
+like in the compiled program.  Programs must not ``out`` raw pointers
+(addresses differ between interpreter and machine) and must initialize
+stack locals before reading them — the interpreter raises on violations to
+keep the equivalence property meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ToolchainError
+from repro.toolchain.ir import Function, Module
+
+MASK64 = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+
+_LOCAL_BASE = 0x1000_0000_0000
+_GLOBAL_BASE = 0x2000_0000_0000
+_HEAP_BASE = 0x3000_0000_0000
+WORD = 8
+
+
+def _signed(v: int) -> int:
+    return v - (1 << 64) if v & SIGN_BIT else v
+
+
+def _tdiv(a: int, b: int) -> int:
+    """Exact signed division truncating toward zero (C semantics)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+class InterpError(ToolchainError):
+    """Raised for IR-level runtime errors (uninitialized reads, bad ops)."""
+
+
+class _Frame:
+    __slots__ = ("fn", "vregs", "local_base", "local_offsets")
+
+    def __init__(self, fn: Function, local_base: int):
+        self.fn = fn
+        self.vregs: Dict[str, int] = {}
+        self.local_base = local_base
+        self.local_offsets: Dict[str, int] = {}
+
+
+class Interpreter:
+    """Executes a module directly at the IR level."""
+
+    def __init__(self, module: Module, *, step_budget: int = 10_000_000):
+        module.validate()
+        self.module = module
+        self.step_budget = step_budget
+        self.memory: Dict[int, int] = {}  # word-addressed
+        self.output: List[int] = []
+        self._local_bump = _LOCAL_BASE
+        self._heap_bump = _HEAP_BASE
+        self._global_addr: Dict[str, int] = {}
+        self._steps = 0
+        self._func_tokens: Dict[str, int] = {}
+        self._token_funcs: Dict[int, str] = {}
+        self._init_globals()
+
+    def _init_globals(self) -> None:
+        addr = _GLOBAL_BASE
+        for gv in self.module.globals:
+            self._global_addr[gv.name] = addr
+            for i in range(gv.size_words):
+                value = gv.init[i] if i < len(gv.init) else 0
+                if isinstance(value, tuple):
+                    symbol, addend = value
+                    value = self._func_token(symbol) + addend
+                self.memory[addr + i * WORD] = value & MASK64
+            addr += gv.size_words * WORD
+
+    def _func_token(self, name: str) -> int:
+        """Synthetic 'address' of a function, for func_addr / icall."""
+        if name not in self.module.functions:
+            raise InterpError(f"func_addr of unknown function {name!r}")
+        token = self._func_tokens.get(name)
+        if token is None:
+            token = 0x4000_0000_0000 + len(self._func_tokens) * 0x100
+            self._func_tokens[name] = token
+            self._token_funcs[token] = name
+        return token
+
+    # -- memory ------------------------------------------------------------
+
+    def _read_mem(self, addr: int) -> int:
+        try:
+            return self.memory[addr]
+        except KeyError:
+            raise InterpError(f"read of uninitialized memory at {addr:#x}") from None
+
+    def _write_mem(self, addr: int, value: int) -> None:
+        self.memory[addr] = value & MASK64
+
+    # -- runtime services -----------------------------------------------------
+
+    def _rtcall(self, service: str, args: Sequence[int]) -> int:
+        if service == "malloc":
+            size = args[0] if args else 0
+            if size <= 0:
+                raise InterpError(f"malloc of size {size}")
+            addr = self._heap_bump
+            self._heap_bump += (size + 15) & ~15
+            return addr
+        if service == "free":
+            return 0
+        if service == "attack_hook":
+            # The victim's vulnerability point: a no-op unless an attack
+            # harness registers a real hook on the machine side.
+            return 0
+        raise InterpError(f"unknown runtime service {service!r}")
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, entry: str = "main", args: Sequence[int] = ()) -> Tuple[int, List[int]]:
+        result = self._call(entry, [a & MASK64 for a in args])
+        return result, self.output
+
+    def _call(self, fname: str, args: Sequence[int]) -> int:
+        fn = self.module.functions.get(fname)
+        if fn is None:
+            raise InterpError(f"call to unknown function {fname!r}")
+        if len(args) != len(fn.params):
+            raise InterpError(
+                f"{fname}: expected {len(fn.params)} args, got {len(args)}"
+            )
+        frame = _Frame(fn, self._local_bump)
+        # Reserve address space for params + locals (params are slot 0..).
+        local_offsets: Dict[str, int] = {}
+        offset = 0
+        for name in fn.params:
+            local_offsets[name] = offset
+            offset += WORD
+        for name, words in fn.locals.items():
+            local_offsets[name] = offset
+            offset += words * WORD
+        self._local_bump += max(offset, WORD)
+        frame.local_offsets = local_offsets
+        for name, value in zip(fn.params, args):
+            self._write_mem(frame.local_base + local_offsets[name], value)
+
+        block = fn.entry
+        index = 0
+        while True:
+            self._steps += 1
+            if self._steps > self.step_budget:
+                raise InterpError("interpreter step budget exceeded")
+            instr = block.instrs[index]
+            op = instr.op
+            a = instr.args
+
+            if op == "const":
+                frame.vregs[a[0]] = a[1] & MASK64
+            elif op == "bin":
+                frame.vregs[a[1]] = self._binop(a[0], self._val(frame, a[2]), self._val(frame, a[3]))
+            elif op == "cmp":
+                frame.vregs[a[1]] = self._cmp(a[0], self._val(frame, a[2]), self._val(frame, a[3]))
+            elif op == "load":
+                frame.vregs[a[0]] = self._read_mem((self._val(frame, a[1]) + a[2]) & MASK64)
+            elif op == "store":
+                self._write_mem((self._val(frame, a[0]) + a[1]) & MASK64, self._val(frame, a[2]))
+            elif op == "local_load":
+                base = frame.local_base + frame.local_offsets[a[1]]
+                idx = self._val(frame, a[2])
+                frame.vregs[a[0]] = self._read_mem(base + _signed(idx) * WORD)
+            elif op == "local_store":
+                base = frame.local_base + frame.local_offsets[a[0]]
+                idx = self._val(frame, a[1])
+                self._write_mem(base + _signed(idx) * WORD, self._val(frame, a[2]))
+            elif op == "addr_local":
+                frame.vregs[a[0]] = frame.local_base + frame.local_offsets[a[1]]
+            elif op == "global_load":
+                base = self._global_addr[a[1]]
+                idx = self._val(frame, a[2])
+                frame.vregs[a[0]] = self._read_mem(base + _signed(idx) * WORD)
+            elif op == "global_store":
+                base = self._global_addr[a[0]]
+                idx = self._val(frame, a[1])
+                self._write_mem(base + _signed(idx) * WORD, self._val(frame, a[2]))
+            elif op == "addr_global":
+                frame.vregs[a[0]] = self._global_addr[a[1]]
+            elif op == "func_addr":
+                frame.vregs[a[0]] = self._func_token(a[1])
+            elif op == "call":
+                result = self._call(a[1], [self._val(frame, arg) for arg in a[2]])
+                if a[0] is not None:
+                    frame.vregs[a[0]] = result
+            elif op == "icall":
+                target = self._val(frame, a[1])
+                fname2 = self._token_funcs.get(target)
+                if fname2 is None:
+                    raise InterpError(f"indirect call to non-function value {target:#x}")
+                result = self._call(fname2, [self._val(frame, arg) for arg in a[2]])
+                if a[0] is not None:
+                    frame.vregs[a[0]] = result
+            elif op == "rtcall":
+                result = self._rtcall(a[1], [self._val(frame, arg) for arg in a[2]])
+                if a[0] is not None:
+                    frame.vregs[a[0]] = result
+            elif op == "br":
+                block = fn.block(a[0])
+                index = 0
+                continue
+            elif op == "cbr":
+                taken = a[1] if self._val(frame, a[0]) != 0 else a[2]
+                block = fn.block(taken)
+                index = 0
+                continue
+            elif op == "ret":
+                return 0 if a[0] is None else self._val(frame, a[0])
+            elif op == "out":
+                self.output.append(self._val(frame, a[0]))
+            else:  # pragma: no cover - validate() rejects unknown ops
+                raise InterpError(f"unknown opcode {op!r}")
+            index += 1
+
+    def _val(self, frame: _Frame, operand) -> int:
+        if isinstance(operand, int):
+            return operand & MASK64
+        try:
+            return frame.vregs[operand]
+        except KeyError:
+            raise InterpError(
+                f"{frame.fn.name}: read of unset vreg {operand!r}"
+            ) from None
+
+    @staticmethod
+    def _binop(op: str, x: int, y: int) -> int:
+        if op == "add":
+            return (x + y) & MASK64
+        if op == "sub":
+            return (x - y) & MASK64
+        if op == "mul":
+            return (_signed(x) * _signed(y)) & MASK64
+        if op == "div":
+            if _signed(y) == 0:
+                raise InterpError("division by zero")
+            return _tdiv(_signed(x), _signed(y)) & MASK64
+        if op == "mod":
+            sy = _signed(y)
+            if sy == 0:
+                raise InterpError("modulo by zero")
+            sx = _signed(x)
+            return (sx - _tdiv(sx, sy) * sy) & MASK64
+        if op == "and":
+            return x & y
+        if op == "or":
+            return x | y
+        if op == "xor":
+            return x ^ y
+        if op == "shl":
+            return (x << (y & 63)) & MASK64
+        if op == "shr":
+            return (x >> (y & 63)) & MASK64
+        raise InterpError(f"unknown binop {op!r}")
+
+    @staticmethod
+    def _cmp(pred: str, x: int, y: int) -> int:
+        sx, sy = _signed(x), _signed(y)
+        if pred == "eq":
+            return 1 if sx == sy else 0
+        if pred == "ne":
+            return 1 if sx != sy else 0
+        if pred == "lt":
+            return 1 if sx < sy else 0
+        if pred == "le":
+            return 1 if sx <= sy else 0
+        if pred == "gt":
+            return 1 if sx > sy else 0
+        if pred == "ge":
+            return 1 if sx >= sy else 0
+        raise InterpError(f"unknown predicate {pred!r}")
+
+
+def interpret_module(
+    module: Module, entry: str = "main", args: Sequence[int] = (), *, step_budget: int = 10_000_000
+) -> Tuple[int, List[int]]:
+    """Run ``module`` on the reference interpreter; return (exit, output)."""
+    return Interpreter(module, step_budget=step_budget).run(entry, args)

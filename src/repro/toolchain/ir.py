@@ -1,0 +1,222 @@
+"""The intermediate representation consumed by the code generator.
+
+The IR is a small, register-based (non-SSA) language: functions contain
+basic blocks of instructions over named virtual registers, plus named stack
+locals (scalars or word arrays), module globals, and direct/indirect calls.
+It is deliberately C-shaped: enough surface for the SPEC-like workloads
+(call-heavy code, pointer chasing, stack buffers, function-pointer tables,
+default parameters in globals) and for the attack programs (overflowable
+locals, leak loops).
+
+Operands are either virtual-register names (``str``) or integer constants
+(``int``).  Labels are block names, local to a function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ToolchainError
+
+Operand = Union[str, int]
+
+BIN_OPS = ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr")
+CMP_PREDS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: Opcode -> human-readable operand signature, used by the validator.
+OPCODES = {
+    "const": "dst, value",
+    "bin": "op, dst, a, b",
+    "cmp": "pred, dst, a, b",
+    "load": "dst, addr, offset",
+    "store": "addr, offset, value",
+    "local_load": "dst, local, index",
+    "local_store": "local, index, value",
+    "addr_local": "dst, local",
+    "global_load": "dst, global, index",
+    "global_store": "global, index, value",
+    "addr_global": "dst, global",
+    "func_addr": "dst, function",
+    "call": "dst?, function, args",
+    "icall": "dst?, target, args",
+    "rtcall": "dst?, service, args",
+    "br": "label",
+    "cbr": "cond, then, else",
+    "ret": "value?",
+    "out": "value",
+}
+
+TERMINATORS = ("br", "cbr", "ret")
+
+
+@dataclass
+class IRInstr:
+    """One IR instruction.  ``args`` is interpreted per ``OPCODES[op]``."""
+
+    op: str
+    args: Tuple = ()
+
+    def __repr__(self) -> str:
+        return f"({self.op} {' '.join(map(str, self.args))})"
+
+
+@dataclass
+class BasicBlock:
+    label: str
+    instrs: List[IRInstr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Optional[IRInstr]:
+        if self.instrs and self.instrs[-1].op in TERMINATORS:
+            return self.instrs[-1]
+        return None
+
+
+@dataclass
+class GlobalVar:
+    """A module global: ``size_words`` 64-bit slots.
+
+    ``init`` entries are ints or ``(symbol, addend)`` tuples resolved at
+    link time — that is how function-pointer tables and "default parameter"
+    globals (the AOCR target of Section 2.3) get code pointers into the
+    data section.  ``padding`` globals are inserted by the global-shuffle
+    pass and carry random bytes.
+    """
+
+    name: str
+    size_words: int = 1
+    init: Sequence[Union[int, Tuple[str, int]]] = ()
+    is_padding: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_words <= 0:
+            raise ToolchainError(f"global {self.name!r} has non-positive size")
+        if len(self.init) > self.size_words:
+            raise ToolchainError(f"global {self.name!r} has too many initializers")
+
+
+@dataclass
+class Function:
+    """A function: parameters, named locals, and basic blocks.
+
+    ``locals`` maps a local name to its size in words (1 = scalar).  The
+    first block is the entry block.  ``protected`` marks the function as
+    compiled by R2C; unprotected functions model foreign code (the
+    Section 7.4 interoperability cases).
+    """
+
+    name: str
+    params: List[str] = field(default_factory=list)
+    locals: Dict[str, int] = field(default_factory=dict)
+    blocks: List[BasicBlock] = field(default_factory=list)
+    protected: bool = True
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ToolchainError(f"function {self.name!r} has no blocks")
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        for b in self.blocks:
+            if b.label == label:
+                return b
+        raise ToolchainError(f"no block {label!r} in {self.name!r}")
+
+    def block_labels(self) -> List[str]:
+        return [b.label for b in self.blocks]
+
+    def has_stack_objects(self) -> bool:
+        """True if the function allocates any named stack slot.
+
+        The BTDP pass skips functions without stack allocations — "such
+        functions are guaranteed to not write benign heap pointers to the
+        stack either" (Section 5.2).
+        """
+        return bool(self.locals) or bool(self.params)
+
+
+@dataclass
+class Module:
+    """A compilation unit: functions plus globals."""
+
+    name: str = "module"
+    functions: Dict[str, Function] = field(default_factory=dict)
+    globals: List[GlobalVar] = field(default_factory=list)
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ToolchainError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def add_global(self, gv: GlobalVar) -> GlobalVar:
+        if any(g.name == gv.name for g in self.globals):
+            raise ToolchainError(f"duplicate global {gv.name!r}")
+        self.globals.append(gv)
+        return gv
+
+    def global_var(self, name: str) -> GlobalVar:
+        for g in self.globals:
+            if g.name == name:
+                return g
+        raise ToolchainError(f"no global {name!r}")
+
+    def validate(self) -> None:
+        """Structural checks: block termination, label/symbol resolution."""
+        global_names = {g.name for g in self.globals}
+        for fn in self.functions.values():
+            if not fn.blocks:
+                raise ToolchainError(f"{fn.name}: no blocks")
+            labels = set()
+            for block in fn.blocks:
+                if block.label in labels:
+                    raise ToolchainError(f"{fn.name}: duplicate block {block.label!r}")
+                labels.add(block.label)
+            for block in fn.blocks:
+                if block.terminator is None:
+                    raise ToolchainError(
+                        f"{fn.name}/{block.label}: block does not end in a terminator"
+                    )
+                for idx, instr in enumerate(block.instrs):
+                    if instr.op in TERMINATORS and idx != len(block.instrs) - 1:
+                        raise ToolchainError(
+                            f"{fn.name}/{block.label}: terminator {instr.op} mid-block"
+                        )
+                    self._validate_instr(fn, block, instr, labels, global_names)
+
+    def _validate_instr(
+        self,
+        fn: Function,
+        block: BasicBlock,
+        instr: IRInstr,
+        labels: set,
+        global_names: set,
+    ) -> None:
+        where = f"{fn.name}/{block.label}: {instr}"
+        op = instr.op
+        if op not in OPCODES:
+            raise ToolchainError(f"{where}: unknown opcode")
+        if op == "bin" and instr.args[0] not in BIN_OPS:
+            raise ToolchainError(f"{where}: unknown binary op {instr.args[0]!r}")
+        if op == "cmp" and instr.args[0] not in CMP_PREDS:
+            raise ToolchainError(f"{where}: unknown predicate {instr.args[0]!r}")
+        if op in ("local_load", "local_store", "addr_local"):
+            local = instr.args[1] if op != "local_store" else instr.args[0]
+            if local not in fn.locals and local not in fn.params:
+                raise ToolchainError(f"{where}: unknown local {local!r}")
+        if op in ("global_load", "global_store", "addr_global"):
+            gname = instr.args[1] if op != "global_store" else instr.args[0]
+            if gname not in global_names:
+                raise ToolchainError(f"{where}: unknown global {gname!r}")
+        if op in ("call", "func_addr"):
+            fname = instr.args[1]
+            if fname not in self.functions:
+                raise ToolchainError(f"{where}: unknown function {fname!r}")
+        if op == "br" and instr.args[0] not in labels:
+            raise ToolchainError(f"{where}: unknown label {instr.args[0]!r}")
+        if op == "cbr":
+            for label in instr.args[1:3]:
+                if label not in labels:
+                    raise ToolchainError(f"{where}: unknown label {label!r}")

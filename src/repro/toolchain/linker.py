@@ -1,0 +1,194 @@
+"""The linker: places lowered functions and globals, resolves layout.
+
+Responsibilities:
+
+* synthesize ``_start`` (call the entry function, then ``exit`` with its
+  return value);
+* lay out the text section in the plan's (possibly shuffled, booby-trap
+  interleaved) function order, assigning every instruction an offset;
+* lay out the data section in the plan's (possibly shuffled, padded)
+  global order, including the GOT and the per-call-site BTRA arrays the
+  code generator created;
+* register symbols (functions, function-local labels, globals) and convert
+  intra-function ``Label`` operands into symbolic immediates that the
+  loader rebases under ASLR;
+* record frame and call-site metadata (the ``.eh_frame`` analogue).
+
+The output is position-independent; no absolute address exists until the
+loader maps the binary (Section 5: "R2C is fully compatible with Position
+Independent Code (PIC) for ASLR").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import LinkError
+from repro.machine.isa import Imm, Instruction, Label, Mem, Op, Reg
+from repro.machine.memory import WORD_BYTES
+from repro.toolchain.binary import Binary, CallSiteRecord, FrameRecord
+from repro.toolchain.ir import GlobalVar, Module
+from repro.toolchain.lower import LoweredFunction, collect_got, lower_module
+from repro.toolchain.plan import ModulePlan, empty_plan
+
+START_SYMBOL = "_start"
+
+
+def _synthesize_start(entry_fn: str) -> LoweredFunction:
+    instrs = [
+        Instruction(Op.CALL, Imm(symbol=entry_fn)),
+        Instruction(Op.EXIT, Reg.RAX),
+    ]
+    return LoweredFunction(
+        name=START_SYMBOL,
+        instrs=instrs,
+        labels={},
+        frame=None,
+        post_offset=0,
+        protected=False,
+        has_stack_args=False,
+    )
+
+
+def _relabel(instr: Instruction, fn_name: str) -> Instruction:
+    """Convert Label operands to function-local symbolic immediates."""
+    def convert(operand):
+        if isinstance(operand, Label):
+            return Imm(symbol=f"{fn_name}::{operand.name}")
+        return operand
+
+    a, b = convert(instr.a), convert(instr.b)
+    if a is instr.a and b is instr.b:
+        return instr
+    return Instruction(instr.op, a, b, size=instr.size, tag=instr.tag)
+
+
+def link_module(
+    module: Module,
+    plan: Optional[ModulePlan] = None,
+    *,
+    entry: str = "main",
+    name: Optional[str] = None,
+) -> Binary:
+    """Lower and link ``module`` under ``plan`` into a :class:`Binary`."""
+    mplan = plan if plan is not None else empty_plan()
+    if entry not in module.functions:
+        raise LinkError(f"entry function {entry!r} not found")
+    lowered = lower_module(module, mplan)
+    lowered[START_SYMBOL] = _synthesize_start(entry)
+
+    # ---- text layout -------------------------------------------------------
+    if mplan.function_order is not None:
+        order = list(mplan.function_order)
+        missing = [n for n in lowered if n not in order and n != START_SYMBOL]
+        order.extend(missing)
+    else:
+        order = (
+            [n for n in module.functions]
+            + [n for n, _ in mplan.booby_trap_functions]
+            + [n for n, _ in mplan.trampolines]
+        )
+    if START_SYMBOL in order:
+        raise LinkError("_start must not appear in the plan's function order")
+    order = [START_SYMBOL] + order
+
+    binary = Binary(name=name or module.name)
+    cursor = 0
+    for fn_name in order:
+        fragment = lowered.get(fn_name)
+        if fragment is None:
+            raise LinkError(f"plan orders unknown function {fn_name!r}")
+        entry_offset = cursor
+        if fn_name in binary.symbols_text:
+            raise LinkError(f"duplicate text symbol {fn_name!r}")
+        binary.symbols_text[fn_name] = entry_offset
+
+        instr_offsets: List[int] = []
+        for instr in fragment.instrs:
+            instr_offsets.append(cursor)
+            binary.text.append((cursor, _relabel(instr, fn_name)))
+            cursor += instr.size
+        end_offset = cursor
+
+        for label, index in fragment.labels.items():
+            offset = instr_offsets[index] if index < len(instr_offsets) else end_offset
+            binary.symbols_text[f"{fn_name}::{label}"] = offset
+
+        binary.frame_records[fn_name] = FrameRecord(
+            name=fn_name,
+            entry_offset=entry_offset,
+            end_offset=end_offset,
+            frame_bytes=fragment.frame.frame_bytes if fragment.frame else 0,
+            post_offset=fragment.post_offset,
+            protected=fragment.protected,
+            has_stack_args=fragment.has_stack_args,
+            slot_offsets=dict(fragment.frame.offsets) if fragment.frame else {},
+        )
+        for site in fragment.callsites:
+            ret_offset = binary.symbols_text[f"{fn_name}::{site.ret_label}"]
+            binary.callsite_records[ret_offset] = CallSiteRecord(
+                ret_offset=ret_offset,
+                caller=fn_name,
+                callee=site.callee,
+                pre_words=site.pre_words,
+                post_words=site.post_words,
+                cleanup_words=site.cleanup_words,
+                uses_btra=site.uses_btra,
+                use_avx=site.use_avx,
+            )
+    binary.text_size = cursor
+
+    # ---- data layout -------------------------------------------------------
+    globals_by_name = {g.name: g for g in module.globals}
+    if mplan.global_order is not None:
+        data_order = [globals_by_name[n] for n in mplan.global_order]
+        leftover = [g for g in module.globals if g.name not in set(mplan.global_order)]
+        data_order.extend(leftover)
+    else:
+        data_order = list(module.globals)
+    for fn_name in order:
+        data_order.extend(lowered[fn_name].extra_globals)
+
+    got_index = collect_got(module)
+    if got_index:
+        # Under code-pointer hiding, GOT entries point at trampolines.
+        cph_map = {target: tramp for tramp, target in mplan.trampolines}
+        got_init = [None] * len(got_index)
+        for fname, slot in got_index.items():
+            got_init[slot] = (cph_map.get(fname, fname), 0)
+        data_order.append(GlobalVar("__got__", size_words=len(got_index), init=got_init))
+
+    image = bytearray()
+    for gv in data_order:
+        if gv.name in binary.symbols_data:
+            raise LinkError(f"duplicate data symbol {gv.name!r}")
+        if gv.name in binary.symbols_text:
+            raise LinkError(f"symbol {gv.name!r} defined in both text and data")
+        offset = len(image)
+        binary.symbols_data[gv.name] = offset
+        for i in range(gv.size_words):
+            value = gv.init[i] if i < len(gv.init) else 0
+            if isinstance(value, tuple):
+                symbol, addend = value
+                binary.data_relocs.append((offset + i * WORD_BYTES, symbol, addend))
+                value = 0
+            image.extend((value & (2**64 - 1)).to_bytes(WORD_BYTES, "little"))
+    binary.data_image = image
+    binary.data_size = len(image)
+
+    # ---- verification: every symbolic operand resolves ----------------------
+    known = set(binary.symbols_text) | set(binary.symbols_data)
+    for _, instr in binary.text:
+        for operand in (instr.a, instr.b):
+            symbol = getattr(operand, "symbol", None)
+            if symbol is not None and symbol not in known and instr.op is not Op.CALLRT:
+                raise LinkError(f"undefined symbol {symbol!r} in {instr!r}")
+    for _, symbol, _ in binary.data_relocs:
+        if symbol not in known:
+            raise LinkError(f"undefined symbol {symbol!r} in data reloc")
+
+    binary.metadata["plan"] = mplan
+    binary.metadata["entry_function"] = entry
+    binary.metadata["booby_trap_functions"] = [n for n, _ in mplan.booby_trap_functions]
+    binary.metadata["function_order"] = order
+    return binary

@@ -1,0 +1,688 @@
+"""Code generation: IR functions -> machine instructions.
+
+The lowering implements the calling convention of
+:mod:`repro.toolchain.callconv` and executes the diversification decisions
+recorded in a :class:`~repro.toolchain.plan.ModulePlan`:
+
+* **BTRA call sites** (Section 5.1): the caller pushes the chosen pre
+  booby-trapped return addresses, the (compile-time known) return address,
+  and the post BTRAs, then repositions ``rsp`` so the ``call`` instruction
+  overwrites the return-address slot in place; the callee protects its
+  post-offset with a leading ``sub rsp``.  Both the push-based and the
+  AVX2 batched setup sequences are implemented (Section 5.1.2).
+* **Offset-invariant addressing** (Section 5.1.1): call sites passing
+  stack arguments park ``rbp`` just below the stack arguments so the
+  callee can reach them across the varying pre-offset.
+* **Prolog traps, NOP insertion, BTDP writes, slot and regalloc
+  shuffling** (Sections 4.2, 4.3, 5.2).
+
+With an empty plan this module is a plain, deterministic code generator —
+the paper's baseline compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ToolchainError
+from repro.machine.isa import Imm, Instruction, Label, Mem, Op, Reg, WORD
+from repro.toolchain.callconv import (
+    ARG_REGS,
+    FP_REG,
+    MAX_REG_ARGS,
+    RET_REG,
+    SCRATCH0,
+    SCRATCH1,
+)
+from repro.toolchain.frame import FrameLayout, build_frame
+from repro.toolchain.ir import Function, GlobalVar, IRInstr, Module
+from repro.toolchain.plan import CallSitePlan, FunctionPlan, ModulePlan
+from repro.toolchain.regalloc import Allocation, allocate
+
+VECTOR_WORDS = 4
+
+
+@dataclass
+class LoweredCallSite:
+    """Codegen-side record of one lowered call site."""
+
+    ret_label: str
+    callee: Optional[str]
+    pre_words: int
+    post_words: int
+    cleanup_words: int
+    uses_btra: bool
+    use_avx: bool
+
+
+@dataclass
+class LoweredFunction:
+    """Machine code for one function, pre-linking."""
+
+    name: str
+    instrs: List[Instruction]
+    labels: Dict[str, int]  # label -> instruction index (may equal len(instrs))
+    frame: Optional[FrameLayout]
+    post_offset: int
+    protected: bool
+    has_stack_args: bool
+    callsites: List[LoweredCallSite] = field(default_factory=list)
+    extra_globals: List[GlobalVar] = field(default_factory=list)
+
+
+def _spill_slot(index: int) -> str:
+    return f"__spill{index}"
+
+
+def _save_slot(reg: Reg) -> str:
+    return f"__save_{reg.name.lower()}"
+
+
+def _btdp_slot(index: int) -> str:
+    return f"__btdp{index}"
+
+
+_TMP_SLOT = "__tmp"
+_OIA_SAVE_SLOT = "__oia_rbp_save"
+
+
+class _FunctionLowerer:
+    """Lowers one IR function under a module plan."""
+
+    def __init__(
+        self,
+        module: Module,
+        fn: Function,
+        mplan: ModulePlan,
+        fplan: FunctionPlan,
+        got_index: Dict[str, int],
+    ):
+        self.module = module
+        self.fn = fn
+        self.mplan = mplan
+        self.fplan = fplan
+        self.got_index = got_index
+        self.instrs: List[Instruction] = []
+        self.labels: Dict[str, int] = {}
+        self.push_depth = 0  # words pushed within the current call lowering
+        self.callsite_counter = 0
+        self.callsites: List[LoweredCallSite] = []
+        self.extra_globals: List[GlobalVar] = []
+        self.allocation: Allocation = allocate(
+            fn, rng=fplan.reg_rng if fplan.shuffle_regs else None
+        )
+        self.frame = self._build_frame()
+
+    # -- frame ---------------------------------------------------------------
+
+    def _needs_oia_save(self) -> bool:
+        """Does any call site in this function park rbp for stack args?"""
+        for block in self.fn.blocks:
+            for instr in block.instrs:
+                if instr.op == "call":
+                    callee = self.module.functions[instr.args[1]]
+                    if len(instr.args[2]) > MAX_REG_ARGS and self._callee_uses_oia(callee.name):
+                        return True
+                elif instr.op == "icall":
+                    if len(instr.args[2]) > MAX_REG_ARGS and self.mplan.oia_enabled:
+                        return True
+        return False
+
+    def _callee_uses_oia(self, callee: str) -> bool:
+        return self.mplan.function_plan(callee).offset_invariant_args
+
+    def _build_frame(self) -> FrameLayout:
+        units: List[Tuple[str, int]] = []
+        for reg in self.allocation.used_registers:
+            units.append((_save_slot(reg), 1))
+        for name in self.fn.params:
+            units.append((name, 1))
+        for name, words in self.fn.locals.items():
+            units.append((name, words))
+        for index in range(self.allocation.spill_count):
+            units.append((_spill_slot(index), 1))
+        for index in range(self.fplan.btdp_count):
+            units.append((_btdp_slot(index), 1))
+        if self._needs_oia_save():
+            units.append((_OIA_SAVE_SLOT, 1))
+        units.append((_TMP_SLOT, 1))
+        rng = self.fplan.slot_rng if self.fplan.shuffle_slots else None
+        return build_frame(units, post_offset=self.fplan.post_offset, shuffle_rng=rng)
+
+    # -- emission helpers -------------------------------------------------------
+
+    def emit(self, op: Op, a=None, b=None, *, size=None, tag=None) -> None:
+        self.instrs.append(Instruction(op, a, b, size=size, tag=tag))
+
+    def mark(self, label: str) -> None:
+        if label in self.labels:
+            raise ToolchainError(f"{self.fn.name}: duplicate label {label!r}")
+        self.labels[label] = len(self.instrs)
+
+    def slot_mem(self, name: str) -> Mem:
+        return Mem(Reg.RSP, self.frame.offset(name) + WORD * self.push_depth)
+
+    def read_into(self, operand: Union[str, int], reg: Reg, *, tag=None) -> None:
+        """Materialize an IR operand's value into a machine register."""
+        if isinstance(operand, int):
+            self.emit(Op.MOV, reg, Imm(operand), tag=tag)
+            return
+        kind, where = self.allocation.locations[operand]
+        if kind == "reg":
+            if where != reg:
+                self.emit(Op.MOV, reg, where, tag=tag)
+        else:
+            self.emit(Op.MOV, reg, self.slot_mem(_spill_slot(where)), tag=tag)
+
+    def write_from(self, vreg: str, reg: Reg) -> None:
+        """Store a machine register's value into an IR vreg's location."""
+        kind, where = self.allocation.locations[vreg]
+        if kind == "reg":
+            if where != reg:
+                self.emit(Op.MOV, where, reg)
+        else:
+            self.emit(Op.MOV, self.slot_mem(_spill_slot(where)), reg)
+
+    def operand_direct(self, operand: Union[str, int]):
+        """Best-effort single-operand form (for OUT); may be reg/imm/mem."""
+        if isinstance(operand, int):
+            return Imm(operand)
+        kind, where = self.allocation.locations[operand]
+        return where if kind == "reg" else self.slot_mem(_spill_slot(where))
+
+    # -- prologue / epilogue -------------------------------------------------------
+
+    def lower(self) -> LoweredFunction:
+        self._emit_prologue()
+        for block in self.fn.blocks:
+            self.mark(f".L{block.label}")
+            for instr in block.instrs:
+                self._lower_instr(instr)
+                if self.push_depth != 0:
+                    raise ToolchainError(
+                        f"{self.fn.name}: unbalanced push depth after {instr}"
+                    )
+        return LoweredFunction(
+            name=self.fn.name,
+            instrs=self.instrs,
+            labels=self.labels,
+            frame=self.frame,
+            post_offset=self.fplan.post_offset,
+            protected=self.fn.protected,
+            has_stack_args=len(self.fn.params) > MAX_REG_ARGS,
+            callsites=self.callsites,
+            extra_globals=self.extra_globals,
+        )
+
+    def _emit_prologue(self) -> None:
+        fplan = self.fplan
+        if fplan.prolog_traps > 0:
+            self.emit(Op.JMP, Label(".Lprolog_body"), tag="prolog-trap-skip")
+            for _ in range(fplan.prolog_traps):
+                self.emit(Op.TRAP, tag="prolog-trap")
+            self.mark(".Lprolog_body")
+        if fplan.post_offset > 0:
+            self.emit(Op.SUB, Reg.RSP, Imm(WORD * fplan.post_offset), tag="btra-post")
+        if self.frame.frame_bytes > 0:
+            self.emit(Op.SUB, Reg.RSP, Imm(self.frame.frame_bytes))
+
+        # Park incoming arguments in their frame homes.
+        for index, param in enumerate(self.fn.params):
+            if index < MAX_REG_ARGS:
+                self.emit(Op.MOV, self.slot_mem(param), ARG_REGS[index])
+            else:
+                stack_index = index - MAX_REG_ARGS
+                if fplan.offset_invariant_args:
+                    src = Mem(FP_REG, WORD * stack_index)
+                else:
+                    # rsp-relative: above the frame, the post-offset, and
+                    # the return address.
+                    offset = (
+                        self.frame.frame_bytes
+                        + WORD * fplan.post_offset
+                        + WORD
+                        + WORD * stack_index
+                    )
+                    src = Mem(Reg.RSP, offset)
+                self.emit(Op.MOV, SCRATCH0, src)
+                self.emit(Op.MOV, self.slot_mem(param), SCRATCH0)
+
+        # Save the callee-saved registers this function will use.
+        for reg in self.allocation.used_registers:
+            self.emit(Op.MOV, self.slot_mem(_save_slot(reg)), reg)
+
+        # Write BTDPs into the frame (Section 5.2).
+        for j in range(fplan.btdp_count):
+            index = fplan.btdp_indices[j] if j < len(fplan.btdp_indices) else 0
+            source = self.mplan.btdp_source_symbol
+            if source is None:
+                raise ToolchainError(
+                    f"{self.fn.name}: BTDP count set but module has no BTDP source"
+                )
+            if self.mplan.btdp_source_is_pointer:
+                self.emit(Op.MOV, SCRATCH0, Mem(symbol=source), tag="btdp")
+                self.emit(
+                    Op.MOV, SCRATCH0, Mem(SCRATCH0, WORD * index), tag="btdp"
+                )
+            else:
+                self.emit(
+                    Op.MOV, SCRATCH0, Mem(symbol=source, offset=WORD * index), tag="btdp"
+                )
+            self.emit(Op.MOV, self.slot_mem(_btdp_slot(j)), SCRATCH0, tag="btdp")
+
+    def _emit_epilogue(self) -> None:
+        for reg in self.allocation.used_registers:
+            self.emit(Op.MOV, reg, self.slot_mem(_save_slot(reg)))
+        if self.frame.frame_bytes > 0:
+            self.emit(Op.ADD, Reg.RSP, Imm(self.frame.frame_bytes))
+        if self.fplan.post_offset > 0:
+            self.emit(
+                Op.ADD, Reg.RSP, Imm(WORD * self.fplan.post_offset), tag="btra-post-revert"
+            )
+        self.emit(Op.RET)
+
+    # -- instruction lowering --------------------------------------------------------
+
+    def _lower_instr(self, instr: IRInstr) -> None:
+        op = instr.op
+        a = instr.args
+        if op == "const":
+            self.emit(Op.MOV, SCRATCH0, Imm(a[1]))
+            self.write_from(a[0], SCRATCH0)
+        elif op == "bin":
+            self._lower_bin(a[0], a[1], a[2], a[3])
+        elif op == "cmp":
+            self.read_into(a[2], SCRATCH0)
+            self.read_into(a[3], SCRATCH1)
+            self.emit(Op.CMP, SCRATCH0, SCRATCH1)
+            setcc = {
+                "eq": Op.SETE,
+                "ne": Op.SETNE,
+                "lt": Op.SETL,
+                "le": Op.SETLE,
+                "gt": Op.SETG,
+                "ge": Op.SETGE,
+            }[a[0]]
+            self.emit(setcc, SCRATCH0)
+            self.write_from(a[1], SCRATCH0)
+        elif op == "load":
+            self.read_into(a[1], SCRATCH0)
+            self.emit(Op.MOV, SCRATCH0, Mem(SCRATCH0, a[2]))
+            self.write_from(a[0], SCRATCH0)
+        elif op == "store":
+            self.read_into(a[0], SCRATCH0)
+            self.read_into(a[2], SCRATCH1)
+            self.emit(Op.MOV, Mem(SCRATCH0, a[1]), SCRATCH1)
+        elif op == "local_load":
+            self._lower_slot_load(a[0], self.frame.offset(a[1]), a[2], base=Reg.RSP)
+        elif op == "local_store":
+            self._lower_slot_store(self.frame.offset(a[0]), a[1], a[2], base=Reg.RSP)
+        elif op == "addr_local":
+            self.emit(Op.LEA, SCRATCH0, self.slot_mem(a[1]))
+            self.write_from(a[0], SCRATCH0)
+        elif op == "global_load":
+            self._lower_global_load(a[0], a[1], a[2])
+        elif op == "global_store":
+            self._lower_global_store(a[0], a[1], a[2])
+        elif op == "addr_global":
+            self.emit(Op.MOV, SCRATCH0, Imm(symbol=a[1]))
+            self.write_from(a[0], SCRATCH0)
+        elif op == "func_addr":
+            slot = self.got_index[a[1]]
+            self.emit(Op.MOV, SCRATCH0, Mem(symbol="__got__", offset=WORD * slot))
+            self.write_from(a[0], SCRATCH0)
+        elif op == "call":
+            self._lower_call(a[0], a[1], None, a[2])
+        elif op == "icall":
+            self._lower_call(a[0], None, a[1], a[2])
+        elif op == "rtcall":
+            self._lower_rtcall(a[0], a[1], a[2])
+        elif op == "br":
+            self.emit(Op.JMP, Label(f".L{a[0]}"))
+        elif op == "cbr":
+            self.read_into(a[0], SCRATCH0)
+            self.emit(Op.TEST, SCRATCH0, SCRATCH0)
+            self.emit(Op.JNE, Label(f".L{a[1]}"))
+            self.emit(Op.JMP, Label(f".L{a[2]}"))
+        elif op == "ret":
+            if a[0] is None:
+                self.emit(Op.MOV, RET_REG, Imm(0))
+            else:
+                self.read_into(a[0], RET_REG)
+            self._emit_epilogue()
+        elif op == "out":
+            self.emit(Op.OUT, self.operand_direct(a[0]))
+        else:  # pragma: no cover - validate() rejects unknown ops
+            raise ToolchainError(f"unknown IR opcode {op!r}")
+
+    def _lower_bin(self, op: str, dst: str, lhs, rhs) -> None:
+        machine_op = {
+            "add": Op.ADD,
+            "sub": Op.SUB,
+            "mul": Op.IMUL,
+            "div": Op.IDIV,
+            "and": Op.AND,
+            "or": Op.OR,
+            "xor": Op.XOR,
+            "shl": Op.SHL,
+            "shr": Op.SHR,
+        }.get(op)
+        if machine_op is not None:
+            self.read_into(lhs, SCRATCH0)
+            self.read_into(rhs, SCRATCH1)
+            self.emit(machine_op, SCRATCH0, SCRATCH1)
+            self.write_from(dst, SCRATCH0)
+            return
+        if op == "mod":
+            # r = a - trunc(a / b) * b, with the dividend parked in the
+            # scratch frame slot (both scratch registers are in use).
+            self.read_into(lhs, SCRATCH0)
+            self.read_into(rhs, SCRATCH1)
+            self.emit(Op.MOV, self.slot_mem(_TMP_SLOT), SCRATCH0)
+            self.emit(Op.IDIV, SCRATCH0, SCRATCH1)
+            self.emit(Op.IMUL, SCRATCH0, SCRATCH1)
+            self.emit(Op.MOV, SCRATCH1, self.slot_mem(_TMP_SLOT))
+            self.emit(Op.SUB, SCRATCH1, SCRATCH0)
+            self.write_from(dst, SCRATCH1)
+            return
+        raise ToolchainError(f"unknown binary op {op!r}")
+
+    def _lower_slot_load(self, dst: str, base_offset: int, index, *, base: Reg) -> None:
+        if isinstance(index, int):
+            mem = Mem(base, base_offset + WORD * index + WORD * self.push_depth)
+            self.emit(Op.MOV, SCRATCH0, mem)
+        else:
+            self.read_into(index, SCRATCH0)
+            mem = Mem(base, base_offset + WORD * self.push_depth, index=SCRATCH0, scale=WORD)
+            self.emit(Op.MOV, SCRATCH0, mem)
+        self.write_from(dst, SCRATCH0)
+
+    def _lower_slot_store(self, base_offset: int, index, value, *, base: Reg) -> None:
+        self.read_into(value, SCRATCH1)
+        if isinstance(index, int):
+            mem = Mem(base, base_offset + WORD * index + WORD * self.push_depth)
+        else:
+            self.read_into(index, SCRATCH0)
+            mem = Mem(base, base_offset + WORD * self.push_depth, index=SCRATCH0, scale=WORD)
+        self.emit(Op.MOV, mem, SCRATCH1)
+
+    def _lower_global_load(self, dst: str, gname: str, index) -> None:
+        if isinstance(index, int):
+            self.emit(Op.MOV, SCRATCH0, Mem(symbol=gname, offset=WORD * index))
+        else:
+            self.read_into(index, SCRATCH0)
+            self.emit(Op.MOV, SCRATCH0, Mem(symbol=gname, index=SCRATCH0, scale=WORD))
+        self.write_from(dst, SCRATCH0)
+
+    def _lower_global_store(self, gname: str, index, value) -> None:
+        self.read_into(value, SCRATCH1)
+        if isinstance(index, int):
+            mem = Mem(symbol=gname, offset=WORD * index)
+        else:
+            self.read_into(index, SCRATCH0)
+            mem = Mem(symbol=gname, index=SCRATCH0, scale=WORD)
+        self.emit(Op.MOV, mem, SCRATCH1)
+
+    # -- call lowering -----------------------------------------------------------
+
+    def _lower_rtcall(self, dst: Optional[str], service: str, args: Sequence) -> None:
+        if len(args) > MAX_REG_ARGS:
+            raise ToolchainError(f"rtcall {service!r} with more than 6 args")
+        for index, arg in enumerate(args):
+            self.read_into(arg, ARG_REGS[index])
+        self.emit(Op.CALLRT, Imm(symbol=service))
+        if dst is not None:
+            self.write_from(dst, RET_REG)
+
+    def _lower_call(
+        self,
+        dst: Optional[str],
+        callee: Optional[str],
+        target,
+        args: Sequence,
+    ) -> None:
+        cs_index = self.callsite_counter
+        self.callsite_counter += 1
+        csplan = self.fplan.call_site(cs_index)
+
+        nstack = max(0, len(args) - MAX_REG_ARGS)
+        pad = nstack % 2
+        if callee is not None:
+            callee_oia = self._callee_uses_oia(callee)
+        else:
+            callee_oia = self.mplan.oia_enabled
+        use_oia = nstack > 0 and callee_oia
+
+        # NOP insertion at the call site (Section 4.3).
+        for _ in range(csplan.nops_before):
+            self.emit(Op.NOP, tag="nop-insertion")
+
+        # Stack arguments (and the alignment pad), pushed last-to-first.
+        if nstack > 0:
+            if pad:
+                self.emit(Op.PUSH, Imm(0), tag="align-pad")
+                self.push_depth += 1
+            for arg in reversed(args[MAX_REG_ARGS:]):
+                self.read_into(arg, SCRATCH0)
+                self.emit(Op.PUSH, SCRATCH0)
+                self.push_depth += 1
+            if use_oia:
+                # Offset-invariant addressing: park rbp at the lowest
+                # stack argument; the callee reads [rbp + 8k].
+                self.emit(Op.MOV, self.slot_mem(_OIA_SAVE_SLOT), FP_REG, tag="oia")
+                self.emit(Op.MOV, FP_REG, Reg.RSP, tag="oia")
+
+        # Register arguments.
+        for index in range(min(len(args), MAX_REG_ARGS)):
+            self.read_into(args[index], ARG_REGS[index])
+
+        # Indirect target, evaluated after the args (into scratch0, which
+        # no argument move clobbers afterwards).
+        if callee is None:
+            self.read_into(target, SCRATCH0)
+
+        ret_label = f".Lret{cs_index}"
+        pre = csplan.pre_count
+        post = csplan.post_count
+        if csplan.enabled:
+            if pre % 2 != 0:
+                raise ToolchainError(
+                    f"{self.fn.name}: call site {cs_index} has odd pre-BTRA count"
+                )
+            if csplan.use_avx:
+                self._emit_btra_avx(csplan, cs_index, ret_label)
+            else:
+                self._emit_btra_push(csplan, ret_label)
+            self.push_depth += pre
+
+        if callee is not None:
+            self.emit(Op.CALL, Imm(symbol=callee))
+        else:
+            self.emit(Op.CALL, SCRATCH0)
+        self.mark(ret_label)
+
+        if csplan.enabled:
+            if csplan.check_index is not None and csplan.pre_btras and not csplan.racy:
+                # Section 7.3 hardening: verify one pre-BTRA survived the
+                # call; a mismatch means someone corrupted return-address
+                # candidates (e.g. a PIROP spray) — detonate.
+                index = csplan.check_index % len(csplan.pre_btras)
+                symbol, offset = csplan.pre_btras[index]
+                slot = WORD * (pre - 1 - index)
+                ok_label = f".Lbtra_ok{cs_index}"
+                self.emit(
+                    Op.CMP, Mem(Reg.RSP, slot), Imm(offset, symbol=symbol),
+                    tag="btra-check",
+                )
+                self.emit(Op.JE, Label(ok_label), tag="btra-check")
+                self.emit(Op.TRAP, tag="btra-check-trap")
+                self.mark(ok_label)
+            self.emit(Op.ADD, Reg.RSP, Imm(WORD * pre), tag="btra-revert")
+            self.push_depth -= pre
+        if nstack > 0:
+            self.emit(Op.ADD, Reg.RSP, Imm(WORD * (nstack + pad)))
+            self.push_depth -= nstack + pad
+            if use_oia:
+                self.emit(Op.MOV, FP_REG, self.slot_mem(_OIA_SAVE_SLOT), tag="oia")
+        if dst is not None:
+            self.write_from(dst, RET_REG)
+
+        self.callsites.append(
+            LoweredCallSite(
+                ret_label=ret_label,
+                callee=callee,
+                pre_words=pre,
+                post_words=post,
+                cleanup_words=nstack + pad,
+                uses_btra=csplan.enabled,
+                use_avx=csplan.use_avx,
+            )
+        )
+
+    def _emit_btra_push(self, csplan: CallSitePlan, ret_label: str) -> None:
+        """Push-based BTRA setup (Figure 3): up to 12 pushes + rsp adjust.
+
+        In the ``racy`` ablation variant the return address is *not*
+        pre-written; the ``call`` instruction appends it below the
+        pre-BTRAs afterwards — re-opening the observable race window the
+        real sequence closes (Section 5.1).
+        """
+        for symbol, offset in csplan.pre_btras:
+            self.emit(Op.PUSH, Imm(offset, symbol=symbol), tag="btra-setup")
+        if csplan.racy:
+            if csplan.post_btras:
+                raise ToolchainError("racy BTRA variant cannot carry post-BTRAs")
+            return
+        self.emit(
+            Op.PUSH, Imm(symbol=f"{self.fn.name}::{ret_label}"), tag="btra-setup"
+        )
+        for symbol, offset in csplan.post_btras:
+            self.emit(Op.PUSH, Imm(offset, symbol=symbol), tag="btra-setup")
+        # Reposition rsp one slot above the return address so the call
+        # overwrites it in place (steps 2-3 of Figure 3).
+        self.emit(
+            Op.ADD,
+            Reg.RSP,
+            Imm(WORD * (csplan.post_count + 1)),
+            tag="btra-setup",
+        )
+
+    def _emit_btra_avx(self, csplan: CallSitePlan, cs_index: int, ret_label: str) -> None:
+        """Vector-batched BTRA setup (Figure 4, Section 5.1.2).
+
+        The BTRAs and return address live in a call-site specific array in
+        the data section; vector loads/stores write them to the stack in
+        batch, then rsp is repositioned above the return-address slot.
+        The batch width comes from the plan: 4 words (AVX2 ymm) or 8
+        words (AVX-512 zmm, the Section 7.1 variant).
+        """
+        width = self.mplan.vector_words
+        if width == VECTOR_WORDS:
+            load_op, store_op = Op.VLOAD, Op.VSTORE
+        elif width == 2 * VECTOR_WORDS:
+            load_op, store_op = Op.VLOAD512, Op.VSTORE512
+        else:
+            raise ToolchainError(f"unsupported vector width {width}")
+        pre = csplan.pre_count
+        post = csplan.post_count
+        real_words = pre + 1 + post
+        padded = (real_words + width - 1) // width * width
+        pad_count = padded - real_words
+
+        # Ascending memory image: [padding][post reversed][RA][pre reversed].
+        entries: List[Tuple[str, int]] = []
+        pool = csplan.post_btras or csplan.pre_btras
+        for i in range(pad_count):
+            entries.append(pool[i % len(pool)])
+        entries.extend(reversed(csplan.post_btras))
+        entries.append((f"{self.fn.name}::{ret_label}", 0))
+        entries.extend(reversed(csplan.pre_btras))
+
+        array_name = f"__btra_arr_{self.fn.name}_{cs_index}"
+        self.extra_globals.append(
+            GlobalVar(array_name, size_words=padded, init=tuple(entries))
+        )
+
+        base = -WORD * padded
+        step = WORD * width
+        for vec in range(padded // width):
+            self.emit(
+                load_op,
+                Reg.YMM0,
+                Mem(symbol=array_name, offset=step * vec),
+                tag="btra-setup",
+            )
+            self.emit(
+                store_op,
+                Mem(Reg.RSP, base + step * vec),
+                Reg.YMM0,
+                tag="btra-setup",
+            )
+        self.emit(Op.VZEROUPPER, tag="btra-setup")
+        self.emit(Op.SUB, Reg.RSP, Imm(WORD * pre), tag="btra-setup")
+
+
+def collect_got(module: Module) -> Dict[str, int]:
+    """Assign GOT slots to every function whose address is taken."""
+    got: Dict[str, int] = {}
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            for instr in block.instrs:
+                if instr.op == "func_addr" and instr.args[1] not in got:
+                    got[instr.args[1]] = len(got)
+    return got
+
+
+def lower_booby_trap(name: str, trap_count: int) -> LoweredFunction:
+    """Synthesize a booby-trap function: an all-TRAP body.
+
+    Each TRAP encodes in one byte, so any BTRA offset into the body lands
+    on a valid instruction — and detonates.
+    """
+    instrs = [Instruction(Op.TRAP, tag="booby-trap") for _ in range(max(1, trap_count))]
+    return LoweredFunction(
+        name=name,
+        instrs=instrs,
+        labels={},
+        frame=None,
+        post_offset=0,
+        protected=False,
+        has_stack_args=False,
+    )
+
+
+def lower_trampoline(name: str, target: str) -> LoweredFunction:
+    """Synthesize a CPH trampoline: a single jump to the hidden target."""
+    instrs = [Instruction(Op.JMP, Imm(symbol=target), tag="cph-trampoline")]
+    return LoweredFunction(
+        name=name,
+        instrs=instrs,
+        labels={},
+        frame=None,
+        post_offset=0,
+        protected=False,
+        has_stack_args=False,
+    )
+
+
+def lower_module(module: Module, mplan: ModulePlan) -> Dict[str, LoweredFunction]:
+    """Lower every function (and synthesize booby traps and CPH
+    trampolines) under ``mplan``."""
+    module.validate()
+    got_index = collect_got(module)
+    lowered: Dict[str, LoweredFunction] = {}
+    for name, fn in module.functions.items():
+        fplan = mplan.function_plan(name)
+        lowered[name] = _FunctionLowerer(module, fn, mplan, fplan, got_index).lower()
+    for bt_name, trap_count in mplan.booby_trap_functions:
+        if bt_name in lowered:
+            raise ToolchainError(f"booby trap name {bt_name!r} collides with a function")
+        lowered[bt_name] = lower_booby_trap(bt_name, trap_count)
+    for tramp_name, target in mplan.trampolines:
+        if tramp_name in lowered:
+            raise ToolchainError(f"trampoline name {tramp_name!r} collides")
+        if target not in module.functions:
+            raise ToolchainError(f"trampoline target {target!r} unknown")
+        lowered[tramp_name] = lower_trampoline(tramp_name, target)
+    return lowered

@@ -1,0 +1,268 @@
+"""IR optimization passes (the -O pipeline).
+
+The paper compiles everything at ``-O3`` with ThinLTO (Section 6.2); this
+module provides the analogous (much smaller) optimizer so the compiler can
+be exercised at different optimization levels:
+
+* **constant folding** — block-local value tracking folds ``bin``/``cmp``
+  over known constants and substitutes constants into operands.  Folding
+  reuses the *interpreter's* arithmetic helpers, so optimized semantics
+  are identical to unoptimized semantics by construction.
+* **branch folding** — ``cbr`` on a known condition becomes ``br``.
+* **unreachable-block elimination** — blocks no longer reachable from the
+  entry block are dropped.
+* **dead-code elimination** — side-effect-free instructions whose results
+  are never used are removed, iterated to a fixpoint.
+
+Calls (direct, indirect, runtime) are never removed or reordered: they
+carry the side effects the workloads (and the BTRA cost model) measure.
+
+Optimization happens before diversification planning, so baseline and
+protected builds of a module are optimized identically — the fair-
+comparison requirement of Section 6.2.  An interesting consequence the
+ablation bench measures: higher optimization shrinks the arithmetic
+around each call, *raising* R2C's relative overhead — one reason the
+paper's -O3 numbers are a worst case for call-dense code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Union
+
+from repro.toolchain.interp import Interpreter, MASK64, _signed
+from repro.toolchain.ir import BasicBlock, Function, IRInstr, Module
+
+Operand = Union[str, int]
+
+#: Instructions safe to delete when their result is unused.  Loads are
+#: included: removing a load from a *well-defined* program (one that never
+#: faults) cannot change its observable behaviour.
+_PURE_OPS = {
+    "const",
+    "bin",
+    "cmp",
+    "load",
+    "local_load",
+    "addr_local",
+    "global_load",
+    "addr_global",
+    "func_addr",
+}
+
+_FOLDABLE_DIV = {"div", "mod"}
+
+
+def optimize_module(module: Module, level: int = 1) -> Module:
+    """Optimize ``module`` in place; returns it for chaining."""
+    if level <= 0:
+        return module
+    for fn in module.functions.values():
+        _optimize_function(fn)
+    module.validate()
+    return module
+
+
+def _optimize_function(fn: Function) -> None:
+    changed = True
+    passes = 0
+    while changed and passes < 8:
+        changed = False
+        changed |= _fold_constants(fn)
+        changed |= _fold_branches(fn)
+        changed |= _drop_unreachable_blocks(fn)
+        changed |= _eliminate_dead_code(fn)
+        passes += 1
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+def _fold_constants(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks:
+        known: Dict[str, int] = {}
+        new_instrs: List[IRInstr] = []
+        for instr in block.instrs:
+            instr = _substitute(instr, known)
+            op = instr.op
+            a = instr.args
+            if op == "const":
+                known[a[0]] = a[1] & MASK64
+            elif op == "bin" and isinstance(a[2], int) and isinstance(a[3], int):
+                if a[0] in _FOLDABLE_DIV and _signed(a[3] & MASK64) == 0:
+                    pass  # preserve the runtime division-by-zero fault
+                else:
+                    value = Interpreter._binop(a[0], a[2] & MASK64, a[3] & MASK64)
+                    known[a[1]] = value
+                    instr = IRInstr("const", (a[1], value))
+                    changed = True
+            elif op == "cmp" and isinstance(a[2], int) and isinstance(a[3], int):
+                value = Interpreter._cmp(a[0], a[2] & MASK64, a[3] & MASK64)
+                known[a[1]] = value
+                instr = IRInstr("const", (a[1], value))
+                changed = True
+            else:
+                # Any other definition invalidates previous knowledge of
+                # that vreg (it is being redefined with an unknown value).
+                defined = _defined_vreg(instr)
+                if defined is not None:
+                    known.pop(defined, None)
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+    return changed
+
+
+def _substitute(instr: IRInstr, known: Dict[str, int]) -> IRInstr:
+    """Replace known-constant vreg operands with their values."""
+
+    def sub(value):
+        if isinstance(value, str) and value in known:
+            return known[value]
+        return value
+
+    op = instr.op
+    a = instr.args
+    if op == "bin":
+        return IRInstr(op, (a[0], a[1], sub(a[2]), sub(a[3])))
+    if op == "cmp":
+        return IRInstr(op, (a[0], a[1], sub(a[2]), sub(a[3])))
+    if op == "load":
+        return IRInstr(op, (a[0], sub(a[1]), a[2]))
+    if op == "store":
+        return IRInstr(op, (sub(a[0]), a[1], sub(a[2])))
+    if op == "local_load":
+        return IRInstr(op, (a[0], a[1], sub(a[2])))
+    if op == "local_store":
+        return IRInstr(op, (a[0], sub(a[1]), sub(a[2])))
+    if op == "global_load":
+        return IRInstr(op, (a[0], a[1], sub(a[2])))
+    if op == "global_store":
+        return IRInstr(op, (a[0], sub(a[1]), sub(a[2])))
+    if op in ("call", "rtcall"):
+        return IRInstr(op, (a[0], a[1], tuple(sub(x) for x in a[2])))
+    if op == "icall":
+        return IRInstr(op, (a[0], sub(a[1]), tuple(sub(x) for x in a[2])))
+    if op == "cbr":
+        return IRInstr(op, (sub(a[0]), a[1], a[2]))
+    if op == "ret" and a[0] is not None:
+        return IRInstr(op, (sub(a[0]),))
+    if op == "out":
+        return IRInstr(op, (sub(a[0]),))
+    return instr
+
+
+def _defined_vreg(instr: IRInstr) -> Optional[str]:
+    op = instr.op
+    a = instr.args
+    if op == "const":
+        return a[0]
+    if op in ("bin", "cmp"):
+        return a[1]
+    if op in (
+        "load",
+        "local_load",
+        "addr_local",
+        "global_load",
+        "addr_global",
+        "func_addr",
+    ):
+        return a[0]
+    if op in ("call", "icall", "rtcall"):
+        return a[0]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# branch folding and unreachable blocks
+# ---------------------------------------------------------------------------
+
+def _fold_branches(fn: Function) -> bool:
+    changed = False
+    for block in fn.blocks:
+        term = block.terminator
+        if term is not None and term.op == "cbr" and isinstance(term.args[0], int):
+            target = term.args[1] if term.args[0] != 0 else term.args[2]
+            block.instrs[-1] = IRInstr("br", (target,))
+            changed = True
+    return changed
+
+
+def _drop_unreachable_blocks(fn: Function) -> bool:
+    reachable: Set[str] = set()
+    stack = [fn.entry.label]
+    by_label = {b.label: b for b in fn.blocks}
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        term = by_label[label].terminator
+        if term is None:
+            continue
+        if term.op == "br":
+            stack.append(term.args[0])
+        elif term.op == "cbr":
+            stack.extend(term.args[1:3])
+    if len(reachable) == len(fn.blocks):
+        return False
+    fn.blocks = [b for b in fn.blocks if b.label in reachable]
+    return True
+
+
+# ---------------------------------------------------------------------------
+# dead code elimination
+# ---------------------------------------------------------------------------
+
+def _eliminate_dead_code(fn: Function) -> bool:
+    used: Set[str] = set()
+    for block in fn.blocks:
+        for instr in block.instrs:
+            for operand in _operands_read(instr):
+                if isinstance(operand, str):
+                    used.add(operand)
+    changed = False
+    for block in fn.blocks:
+        kept = []
+        for instr in block.instrs:
+            defined = _defined_vreg(instr)
+            if (
+                instr.op in _PURE_OPS
+                and defined is not None
+                and defined not in used
+            ):
+                changed = True
+                continue
+            kept.append(instr)
+        block.instrs = kept
+    return changed
+
+
+def _operands_read(instr: IRInstr):
+    op = instr.op
+    a = instr.args
+    if op in ("bin", "cmp"):
+        return [a[2], a[3]]
+    if op == "load":
+        return [a[1]]
+    if op == "store":
+        return [a[0], a[2]]
+    if op == "local_load":
+        return [a[2]]
+    if op == "local_store":
+        return [a[1], a[2]]
+    if op == "global_load":
+        return [a[2]]
+    if op == "global_store":
+        return [a[1], a[2]]
+    if op in ("call", "rtcall"):
+        return list(a[2])
+    if op == "icall":
+        return [a[1], *a[2]]
+    if op == "cbr":
+        return [a[0]]
+    if op == "ret":
+        return [a[0]] if a[0] is not None else []
+    if op == "out":
+        return [a[0]]
+    return []

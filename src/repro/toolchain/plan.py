@@ -1,0 +1,136 @@
+"""Diversification plan: the contract between R2C passes and the codegen.
+
+The real R2C is implemented as LLVM backend passes that cooperate with call
+lowering and frame lowering (Section 5).  We mirror that split: the passes
+in :mod:`repro.core.passes` *decide* (how many BTRAs, which booby traps,
+how many prolog traps, whether to shuffle slots), and record the decisions
+in these plan structures; :mod:`repro.toolchain.lower` *executes* them
+while emitting machine code.
+
+A plan with everything zeroed/disabled (the default) produces the baseline
+binary the paper compares against ("we compiled the baseline with the same
+compiler version and flags but with R2C disabled", Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.rng import DiversityRng
+
+#: A booby-trap target: (symbol, byte offset into the trap body).
+BtraTarget = Tuple[str, int]
+
+
+@dataclass
+class CallSitePlan:
+    """Per-call-site BTRA decisions (drawn at compile time, Section 5.1)."""
+
+    pre_btras: List[BtraTarget] = field(default_factory=list)
+    post_btras: List[BtraTarget] = field(default_factory=list)
+    use_avx: bool = False
+    nops_before: int = 0  # NOP insertion at the call site (Section 4.3)
+    #: Ablation: skip the pre-written return address, re-opening the
+    #: pre/post-call race window (requires post_btras to be empty).
+    racy: bool = False
+    #: When set, verify this pre-BTRA index after the call returns and
+    #: detonate on mismatch (the Section 7.3 consistency check).
+    check_index: Optional[int] = None
+
+    @property
+    def pre_count(self) -> int:
+        return len(self.pre_btras)
+
+    @property
+    def post_count(self) -> int:
+        return len(self.post_btras)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.pre_btras or self.post_btras)
+
+
+@dataclass
+class FunctionPlan:
+    """Per-function diversification decisions."""
+
+    #: Callee-side BTRA slots protected below the return address; the callee
+    #: subtracts 8*post_offset from rsp on entry and reverts it before ret.
+    post_offset: int = 0
+    #: Trap instructions placed in the prolog (jumped over by a leading jmp).
+    prolog_traps: int = 0
+    #: BTDPs written into this function's stack frame.
+    btdp_count: int = 0
+    #: Shuffle the order of stack slots (params, locals, spills, BTDPs).
+    shuffle_slots: bool = False
+    #: Shuffle the register-allocator pool order.
+    shuffle_regs: bool = False
+    #: Use offset-invariant addressing for this function's stack arguments.
+    #: Set when BTRAs are active (the pre-offset makes rsp-relative stack
+    #: argument access impossible, Section 5.1.1) or when measuring OIA alone.
+    offset_invariant_args: bool = False
+    #: Compile-time chosen indices into the BTDP array, one per BTDP write.
+    btdp_indices: List[int] = field(default_factory=list)
+    #: Per-call-site plans, indexed by lowering order: the ``call`` and
+    #: ``icall`` IR instructions of the function, in block order
+    #: (``rtcall`` sites are not diversified and do not count).
+    call_sites: List[CallSitePlan] = field(default_factory=list)
+    #: RNG streams for decisions the codegen must draw itself (slot order,
+    #: register pool order).
+    slot_rng: Optional[DiversityRng] = None
+    reg_rng: Optional[DiversityRng] = None
+
+    def call_site(self, index: int) -> CallSitePlan:
+        """Plan for the ``index``-th call site; default (disabled) if absent."""
+        if index < len(self.call_sites):
+            return self.call_sites[index]
+        return CallSitePlan()
+
+
+@dataclass
+class ModulePlan:
+    """Whole-module diversification decisions."""
+
+    #: Text-section order: function names, booby-trap functions interleaved.
+    function_order: Optional[List[str]] = None
+    #: Data-section order: global names (padding globals included).
+    global_order: Optional[List[str]] = None
+    #: Per-function plans; functions without an entry get the default plan.
+    functions: Dict[str, FunctionPlan] = field(default_factory=dict)
+    #: Name of the data-section symbol the BTDP loads go through:
+    #: hardened mode -> a single pointer to the heap-allocated array;
+    #: naive mode -> the array itself (the Figure 5 comparison).
+    btdp_source_symbol: Optional[str] = None
+    #: True when btdp_source_symbol holds a *pointer* to the heap array
+    #: (hardened) rather than the array data (naive).
+    btdp_source_is_pointer: bool = True
+    #: Number of entries in the BTDP array.
+    btdp_array_len: int = 0
+    #: Vector width (in 64-bit words) for the batched BTRA setup:
+    #: 4 = AVX2 (ymm), 8 = AVX-512 (zmm).
+    vector_words: int = 4
+    #: Booby-trap functions injected into the module as (name, trap_count);
+    #: their bodies are all-TRAP, so any control transfer into them detonates.
+    booby_trap_functions: List[Tuple[str, int]] = field(default_factory=list)
+    #: Code-pointer-hiding trampolines as (trampoline_name, target): every
+    #: observable function pointer (GOT entries, data-section initializers)
+    #: is redirected through a one-jump stub, so leaked function pointers
+    #: reveal trampoline addresses, not function addresses (Section 2.2).
+    trampolines: List[Tuple[str, str]] = field(default_factory=list)
+    #: Offset-invariant addressing is in force module-wide: protected
+    #: functions read stack arguments through the caller-parked rbp, and
+    #: callers park rbp at indirect call sites with stack arguments.
+    oia_enabled: bool = False
+    #: Emit BTRAs even at call sites whose callee is unprotected
+    #: (the paper's worst-case measurement configuration, Section 6.2).
+    btras_for_unprotected_calls: bool = False
+
+    def function_plan(self, name: str) -> FunctionPlan:
+        plan = self.functions.get(name)
+        return plan if plan is not None else FunctionPlan()
+
+
+def empty_plan() -> ModulePlan:
+    """The baseline plan: no diversification at all."""
+    return ModulePlan()

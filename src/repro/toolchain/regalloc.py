@@ -1,0 +1,196 @@
+"""Linear-scan register allocation over IR virtual registers.
+
+The allocator assigns each virtual register either an allocatable machine
+register or a spill slot in the frame.  It is the hook for two R2C
+diversifications:
+
+* **register-allocation randomization** (Section 4.3): the pool order is
+  shuffled per function, so identical source code uses different registers
+  in different builds — and therefore produces different callee-saved
+  spill layouts on the stack;
+* **spilled heap pointers**: values that do not fit in the pool land in
+  readable stack slots, which is exactly the signal AOCR's statistical
+  profiling feeds on (Section 2.3) and BTDPs camouflage.
+
+Liveness is computed as linear first-use/last-use intervals, extended over
+loop back edges so a value live around a loop is never clobbered inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.machine.isa import Reg
+from repro.rng import DiversityRng
+from repro.toolchain.callconv import ALLOCATABLE
+from repro.toolchain.ir import Function, IRInstr
+
+Location = Union[Tuple[str, Reg], Tuple[str, int]]  # ("reg", Reg) | ("spill", n)
+
+
+def _defs_uses(instr: IRInstr) -> Tuple[Optional[str], List[str]]:
+    """Return (defined vreg, used vregs) for one IR instruction."""
+    op = instr.op
+    a = instr.args
+
+    def v(x) -> Optional[str]:
+        return x if isinstance(x, str) else None
+
+    if op == "const":
+        return a[0], []
+    if op in ("bin", "cmp"):
+        return a[1], [x for x in (v(a[2]), v(a[3])) if x]
+    if op == "load":
+        return a[0], [x for x in (v(a[1]),) if x]
+    if op == "store":
+        return None, [x for x in (v(a[0]), v(a[2])) if x]
+    if op == "local_load":
+        return a[0], [x for x in (v(a[2]),) if x]
+    if op == "local_store":
+        return None, [x for x in (v(a[1]), v(a[2])) if x]
+    if op in ("addr_local", "addr_global", "func_addr"):
+        return a[0], []
+    if op == "global_load":
+        return a[0], [x for x in (v(a[2]),) if x]
+    if op == "global_store":
+        return None, [x for x in (v(a[1]), v(a[2])) if x]
+    if op == "call":
+        return a[0], [x for x in map(v, a[2]) if x]
+    if op == "icall":
+        uses = [x for x in (v(a[1]),) if x] + [x for x in map(v, a[2]) if x]
+        return a[0], uses
+    if op == "rtcall":
+        return a[0], [x for x in map(v, a[2]) if x]
+    if op == "br":
+        return None, []
+    if op == "cbr":
+        return None, [x for x in (v(a[0]),) if x]
+    if op == "ret":
+        return None, [x for x in (v(a[0]),) if x] if a[0] is not None else []
+    if op == "out":
+        return None, [x for x in (v(a[0]),) if x]
+    raise ValueError(f"unknown opcode {op!r}")
+
+
+@dataclass
+class Interval:
+    vreg: str
+    start: int
+    end: int
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    locations: Dict[str, Location]
+    used_registers: List[Reg]
+    spill_count: int
+
+    def location(self, vreg: str) -> Location:
+        return self.locations[vreg]
+
+
+def compute_intervals(fn: Function) -> Tuple[List[Interval], int]:
+    """Linear live intervals with back-edge extension.
+
+    Returns (intervals, instruction_count).
+    """
+    block_start: Dict[str, int] = {}
+    linear: List[IRInstr] = []
+    for block in fn.blocks:
+        block_start[block.label] = len(linear)
+        linear.extend(block.instrs)
+
+    first: Dict[str, int] = {}
+    last: Dict[str, int] = {}
+    for idx, instr in enumerate(linear):
+        defined, used = _defs_uses(instr)
+        for name in used + ([defined] if defined else []):
+            if name not in first:
+                first[name] = idx
+            last[name] = idx
+
+    # Back edges: a branch at index j to a block starting at i <= j means
+    # everything live anywhere in [i, j] must stay live through j.
+    back_edges: List[Tuple[int, int]] = []
+    for idx, instr in enumerate(linear):
+        targets: Sequence[str] = ()
+        if instr.op == "br":
+            targets = (instr.args[0],)
+        elif instr.op == "cbr":
+            targets = instr.args[1:3]
+        for label in targets:
+            target = block_start[label]
+            if target <= idx:
+                back_edges.append((target, idx))
+
+    changed = True
+    while changed:
+        changed = False
+        for target, branch in back_edges:
+            for name in first:
+                if first[name] <= branch and last[name] >= target and last[name] < branch:
+                    last[name] = branch
+                    changed = True
+
+    intervals = [Interval(name, first[name], last[name]) for name in first]
+    intervals.sort(key=lambda iv: (iv.start, iv.end, iv.vreg))
+    return intervals, len(linear)
+
+
+def allocate(
+    fn: Function,
+    *,
+    rng: Optional[DiversityRng] = None,
+    pool: Sequence[Reg] = ALLOCATABLE,
+) -> Allocation:
+    """Assign registers/spill slots to every vreg of ``fn``.
+
+    ``rng`` (when given) shuffles the register pool — the
+    register-allocation randomization diversification.
+    """
+    intervals, _ = compute_intervals(fn)
+    order = list(pool)
+    if rng is not None:
+        rng.shuffle(order)
+
+    free = list(order)
+    active: List[Tuple[Interval, Reg]] = []  # sorted by interval end
+    locations: Dict[str, Location] = {}
+    used_registers: List[Reg] = []
+    spill_count = 0
+
+    for interval in intervals:
+        # Expire intervals that ended strictly before this one starts.
+        still_active = []
+        for act, reg in active:
+            if act.end < interval.start:
+                free.append(reg)
+            else:
+                still_active.append((act, reg))
+        active = still_active
+
+        if free:
+            reg = free.pop(0)
+            locations[interval.vreg] = ("reg", reg)
+            if reg not in used_registers:
+                used_registers.append(reg)
+            active.append((interval, reg))
+            active.sort(key=lambda pair: pair[0].end)
+        else:
+            # Spill whichever of {current, furthest-ending active} ends last.
+            victim, victim_reg = active[-1]
+            if victim.end > interval.end:
+                active.pop()
+                locations[victim.vreg] = ("spill", spill_count)
+                spill_count += 1
+                locations[interval.vreg] = ("reg", victim_reg)
+                active.append((interval, victim_reg))
+                active.sort(key=lambda pair: pair[0].end)
+            else:
+                locations[interval.vreg] = ("spill", spill_count)
+                spill_count += 1
+
+    return Allocation(locations=locations, used_registers=used_registers, spill_count=spill_count)

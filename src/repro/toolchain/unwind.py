@@ -1,0 +1,105 @@
+"""Stack unwinding over BTRA-diversified frames (Section 7.2.4).
+
+The paper claims R2C stays compatible with exception handling and stack
+unwinding because the BTRA setup/teardown emits CFI directives recording
+every stack-pointer adjustment.  Our ``.eh_frame`` analogue is the pair of
+:class:`~repro.toolchain.binary.FrameRecord` (per function: frame size and
+BTRA post-offset, keyed by PC range) and
+:class:`~repro.toolchain.binary.CallSiteRecord` (per call site: BTRA
+pre-offset and argument cleanup, keyed by return-address PC).
+
+:func:`unwind` walks a live process's stack using only those records —
+never the diversification plan — proving the metadata suffices to unwind
+through any number of BTRAs.  Like a real unwinder it is process-internal
+and privileged (it reads memory regardless of page permissions), and it
+*fails loudly* on a corrupted stack: a return address that does not map to
+a known call site raises :class:`UnwindError`, exactly how a real unwinder
+surfaces smashed stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ReproError
+from repro.machine.memory import WORD_BYTES
+from repro.machine.process import Process
+
+WORD = WORD_BYTES
+
+
+class UnwindError(ReproError):
+    """The stack cannot be unwound (corrupted or untracked frame)."""
+
+
+@dataclass
+class UnwindFrame:
+    """One logical frame produced by the unwinder."""
+
+    function: str
+    pc_offset: int  # text offset of the resume point inside the function
+    frame_rsp: int  # rsp as seen by the function's body
+    return_address: int  # absolute RA this frame will return to
+
+
+def unwind(process: Process, rip: int, rsp: int, *, max_frames: int = 64) -> List[UnwindFrame]:
+    """Walk the stack from (rip, rsp); innermost frame first.
+
+    Preconditions mirror a real unwinder invoked at a call boundary: the
+    innermost function has completed its prologue (rsp is at its body
+    position), and every outer function is suspended at a call site.
+    """
+    binary = process.binary
+    if binary is None:
+        raise UnwindError("process has no binary metadata")
+    text_base = process.text_base
+
+    frames: List[UnwindFrame] = []
+    while len(frames) < max_frames:
+        offset = rip - text_base
+        function = binary.function_at_offset(offset)
+        if function is None:
+            raise UnwindError(f"pc {rip:#x} is outside any known function")
+        record = binary.frame_records[function]
+
+        ra_slot = rsp + record.frame_bytes + WORD * record.post_offset
+        return_address = process.memory.load_word_raw(ra_slot)
+        frames.append(
+            UnwindFrame(
+                function=function,
+                pc_offset=offset - record.entry_offset,
+                frame_rsp=rsp,
+                return_address=return_address,
+            )
+        )
+        if function == "_start":
+            break
+
+        ra_offset = return_address - text_base
+        site = binary.callsite_records.get(ra_offset)
+        if site is None:
+            # _start's synthesized call has no record; anything else is a
+            # corrupted or non-return-address word where the RA should be.
+            caller = binary.function_at_offset(ra_offset)
+            if caller == "_start":
+                frames.append(
+                    UnwindFrame(
+                        function="_start",
+                        pc_offset=ra_offset,
+                        frame_rsp=ra_slot + WORD,
+                        return_address=0,
+                    )
+                )
+                break
+            raise UnwindError(
+                f"return address {return_address:#x} does not resume a call site"
+            )
+        rip = return_address
+        rsp = ra_slot + WORD + WORD * (site.pre_words + site.cleanup_words)
+    return frames
+
+
+def backtrace(process: Process, rip: int, rsp: int) -> List[str]:
+    """Function names innermost-first (a `bt` convenience)."""
+    return [frame.function for frame in unwind(process, rip, rsp)]

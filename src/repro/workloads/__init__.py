@@ -1,0 +1,29 @@
+"""Workloads: the programs the evaluation compiles and runs.
+
+* :mod:`repro.workloads.programs` — reusable IR program-fragment builders
+  (call chains, dispatch tables, pointer chases, arithmetic kernels).
+* :mod:`repro.workloads.spec` — twelve synthetic benchmarks named after
+  the SPEC CPU 2017 programs of the paper, with call density and memory
+  behaviour calibrated to reproduce the overhead *shape* of Figure 6 and
+  the call-frequency ordering of Table 2.
+* :mod:`repro.workloads.webserver` — an nginx/Apache-like request loop for
+  the throughput experiment of Section 6.2.4.
+* :mod:`repro.workloads.browser` — a browser-scale synthetic corpus
+  generator for the scalability experiment of Section 6.3.
+* :mod:`repro.workloads.victim` — the vulnerable server the security
+  evaluation attacks (Section 7.2).
+"""
+
+from repro.workloads.spec import SPEC_BENCHMARKS, build_spec_benchmark
+from repro.workloads.webserver import build_webserver
+from repro.workloads.browser import generate_browser_corpus
+from repro.workloads.victim import build_victim, VictimLayoutInfo
+
+__all__ = [
+    "SPEC_BENCHMARKS",
+    "build_spec_benchmark",
+    "build_webserver",
+    "generate_browser_corpus",
+    "build_victim",
+    "VictimLayoutInfo",
+]

@@ -1,0 +1,225 @@
+"""Reusable IR program fragments for the synthetic workloads.
+
+Each helper adds functions to an :class:`~repro.toolchain.builder.IRBuilder`
+and returns the names it created.  The fragments model the behaviours that
+drive R2C's overhead profile:
+
+* call-dense code (BTRA setup cost scales with call count, Section 7.1);
+* indirect dispatch (omnetpp-style virtual calls);
+* recursion (deepsjeng-style search);
+* pointer chasing over the heap (mcf-style, puts heap pointers on stacks);
+* tight arithmetic loops with no calls (lbm-style, near-zero overhead);
+* stack-argument calls (exercising offset-invariant addressing).
+
+All fragments produce verifiable output: they accumulate checksums that
+``main`` emits via ``out``, so every benchmark doubles as a correctness
+test of the diversifying compiler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.toolchain.builder import FunctionBuilder, IRBuilder
+
+
+def add_leaf_workers(
+    ir: IRBuilder, prefix: str, count: int, work: int = 6
+) -> List[str]:
+    """Leaf worker functions with ``work`` rounds of hash-style arithmetic.
+
+    ``work`` calibrates the callee body size relative to the fixed per-call
+    BTRA cost, i.e. the call *density* of the benchmark — the quantity the
+    paper identifies as the overhead driver (Section 7.1).
+    """
+    names = []
+    for index in range(count):
+        fb = ir.function(f"{prefix}_leaf{index}", params=["x"])
+        x = fb.param("x")
+        value = fb.add(fb.mul(x, 2 * index + 3), index + 1)
+        for round_index in range(work):
+            value = fb.bxor(value, fb.shr(value, 7))
+            value = fb.add(fb.mul(value, 31), round_index)
+        fb.ret(fb.band(value, 0xFFFF_FFFF))
+        names.append(fb.fn.name)
+    return names
+
+
+def add_call_chain(
+    ir: IRBuilder, prefix: str, depth: int, leaf: str, work: int = 2
+) -> str:
+    """A chain f0 -> f1 -> ... -> leaf, each frame with locals and ``work``
+    rounds of arithmetic (the per-frame body size knob)."""
+    previous = leaf
+    for level in reversed(range(depth)):
+        fb = ir.function(f"{prefix}_chain{level}", params=["x"])
+        fb.local("acc")
+        x = fb.param("x")
+        value = fb.add(x, level)
+        for round_index in range(work):
+            value = fb.add(fb.mul(value, 5), round_index)
+            value = fb.bxor(value, fb.shr(value, 9))
+        fb.store_local("acc", fb.band(value, 0xFFFF_FFFF))
+        inner = fb.call(previous, [fb.load_local("acc")])
+        fb.ret(fb.add(inner, 1))
+        previous = fb.fn.name
+    return previous
+
+
+def add_dispatch_table(
+    ir: IRBuilder, prefix: str, handlers: Sequence[str], table_global: str
+) -> None:
+    """A global function-pointer table (populated at link time)."""
+    ir.global_var(
+        table_global,
+        size_words=len(handlers),
+        init=tuple((name, 0) for name in handlers),
+    )
+
+
+def emit_dispatch_loop(
+    fb: FunctionBuilder, table_global: str, table_len: int, iterations: int, acc_local: str
+) -> None:
+    """An indirect-call dispatch loop (virtual-call heavy, omnetpp-style)."""
+    body = f"disp_{table_global}_{len(fb.fn.blocks)}"
+    exit_label = f"{body}_done"
+    ivar = fb.counted_loop(iterations, body, exit_label)
+    i = fb.load_local(ivar)
+    index = fb.mod(i, table_len)
+    target = fb.load_global(table_global, index)
+    result = fb.icall(target, [i])
+    fb.store_local(acc_local, fb.add(fb.load_local(acc_local), result))
+    fb.loop_backedge(ivar, body)
+    fb.new_block(exit_label)
+
+
+def emit_call_loop(
+    fb: FunctionBuilder, callee: str, iterations: int, acc_local: str
+) -> None:
+    """A direct-call loop (the basic call-density knob)."""
+    body = f"calls_{callee}_{len(fb.fn.blocks)}"
+    exit_label = f"{body}_done"
+    ivar = fb.counted_loop(iterations, body, exit_label)
+    i = fb.load_local(ivar)
+    result = fb.call(callee, [i])
+    fb.store_local(acc_local, fb.add(fb.load_local(acc_local), result))
+    fb.loop_backedge(ivar, body)
+    fb.new_block(exit_label)
+
+
+def emit_arith_kernel(fb: FunctionBuilder, iterations: int, acc_local: str) -> None:
+    """A tight arithmetic loop with no calls (lbm/xz-style)."""
+    body = f"arith_{acc_local}_{len(fb.fn.blocks)}"
+    exit_label = f"{body}_done"
+    ivar = fb.counted_loop(iterations, body, exit_label)
+    i = fb.load_local(ivar)
+    acc = fb.load_local(acc_local)
+    acc = fb.add(acc, fb.mul(i, 17))
+    acc = fb.bxor(acc, fb.shl(i, 3))
+    acc = fb.sub(acc, fb.shr(acc, 5))
+    fb.store_local(acc_local, fb.band(acc, 0xFFFF_FFFF))
+    fb.loop_backedge(ivar, body)
+    fb.new_block(exit_label)
+
+
+def add_pointer_chase(ir: IRBuilder, prefix: str, nodes: int) -> str:
+    """A heap linked-list walk: builds the list, then a chase function.
+
+    The chase loads node pointers into locals — putting benign heap
+    pointers on the stack, AOCR's raw material (Section 2.3).
+    """
+    walk = ir.function(f"{prefix}_walk", params=["head", "steps"])
+    walk.local("cur")
+    walk.local("sum")
+    walk.store_local("cur", walk.param("head"))
+    walk.store_local("sum", 0)
+    body, exit_label = "walk_body", "walk_done"
+    ivar = walk.counted_loop(walk.param("steps"), body, exit_label)
+    cur = walk.load_local("cur")
+    value = walk.load(cur, offset=8)
+    walk.store_local("sum", walk.add(walk.load_local("sum"), value))
+    walk.store_local("cur", walk.load(cur, offset=0))
+    walk.loop_backedge(ivar, body)
+    walk.new_block(exit_label)
+    walk.ret(walk.load_local("sum"))
+
+    build = ir.function(f"{prefix}_build", params=["n"])
+    build.local("head")
+    build.local("prev")
+    head = build.rtcall("malloc", [16])
+    build.store(head, 0, offset=0)
+    build.store(head, 1, offset=8)
+    build.store_local("head", head)
+    build.store_local("prev", head)
+    body2, exit2 = "build_body", "build_done"
+    ivar2 = build.counted_loop(build.param("n"), body2, exit2)
+    node = build.rtcall("malloc", [16])
+    i2 = build.load_local(ivar2)
+    build.store(node, 0, offset=0)
+    build.store(node, build.add(i2, 2), offset=8)
+    prev = build.load_local("prev")
+    build.store(prev, node, offset=0)
+    build.store_local("prev", node)
+    build.loop_backedge(ivar2, body2)
+    build.new_block(exit2)
+    build.ret(build.load_local("head"))
+    return f"{prefix}"
+
+
+def add_recursive_search(ir: IRBuilder, prefix: str, branch_work: int) -> str:
+    """A bounded two-way recursion (deepsjeng/leela-style search)."""
+    fb = ir.function(f"{prefix}_search", params=["depth", "score"])
+    fb.local("tmp")
+    depth = fb.param("depth")
+    done = fb.cmp("le", depth, 0)
+    fb.cbr(done, "base", "recurse")
+
+    fb.new_block("base")
+    fb.ret(fb.add(fb.param("score"), 1))
+
+    fb.new_block("recurse")
+    score = fb.param("score")
+    work = score
+    for step in range(branch_work):
+        work = fb.add(fb.mul(work, 3), step)
+    fb.store_local("tmp", work)
+    d1 = fb.sub(fb.param("depth"), 1)
+    left = fb.call(fb.fn.name, [d1, fb.load_local("tmp")])
+    d2 = fb.sub(fb.param("depth"), 2)
+    right = fb.call(fb.fn.name, [d2, left])
+    fb.ret(fb.band(fb.add(left, right), 0xFFFF_FFFF))
+    return fb.fn.name
+
+
+def add_stack_arg_worker(ir: IRBuilder, prefix: str) -> str:
+    """A function with stack arguments (exercises OIA, Section 5.1.1)."""
+    params = [f"p{i}" for i in range(9)]
+    fb = ir.function(f"{prefix}_wide", params=params)
+    acc = fb.param("p0")
+    for name in params[1:]:
+        acc = fb.add(fb.mul(acc, 3), fb.param(name))
+    fb.ret(fb.band(acc, 0xFFFF_FFFF))
+    return fb.fn.name
+
+
+def emit_heap_touch(fb: FunctionBuilder, pages: int) -> None:
+    """Allocate and touch ``pages`` heap pages (working-set ballast).
+
+    Real SPEC programs have working sets in the hundreds of megabytes,
+    which is why the fixed BTDP guard-page cost is only 1-3% of their RSS
+    but ~100% of a small webserver's (Section 6.2.5).  The memory
+    experiment adds this ballast to the SPEC stand-ins.
+    """
+    if pages <= 0:
+        return
+    buf_local = f"__ballast{len(fb.fn.blocks)}"
+    fb.local(buf_local)
+    fb.store_local(buf_local, fb.rtcall("malloc", [pages * 4096]))
+    body = f"touch_{buf_local}"
+    exit_label = f"{body}_done"
+    ivar = fb.counted_loop(pages, body, exit_label)
+    i = fb.load_local(ivar)
+    addr = fb.add(fb.load_local(buf_local), fb.mul(i, 4096))
+    fb.store(addr, i)
+    fb.loop_backedge(ivar, body)
+    fb.new_block(exit_label)

@@ -1,0 +1,264 @@
+"""Synthetic SPEC CPU 2017 stand-ins (Sections 6.2, 7.1).
+
+Twelve benchmarks named after the paper's SPEC programs.  Each models the
+*mechanism* that determines its R2C overhead in the paper — call density
+above all ("R2C adds BTRAs per call site, explaining the overhead for
+function heavy benchmarks", Section 7.1):
+
+=============  =======================================================
+perlbench      interpreter dispatch: indirect calls through a handler
+               table, plus direct helper calls (call-heavy)
+gcc            recursive-descent flavoured: call chains + recursion
+mcf            network simplex flavoured: heap pointer chasing with a
+               very high absolute call count but long loop bodies
+lbm            stencil arithmetic, almost call-free (lowest overhead)
+omnetpp        discrete-event simulation: dense virtual dispatch over
+               many tiny methods (the paper's worst outlier)
+xalancbmk      XML transform: deep call chains, wide (stack-argument)
+               calls, dispatch — many small functions
+x264           block processing: arithmetic with periodic helper calls
+deepsjeng      alpha-beta search: branching recursion
+imagick        pixel kernels with occasional helper calls
+leela          MCTS: recursion + heap traffic + dispatch
+nab            MD force loops: an extreme direct-call count on a tiny
+               leaf (the Table 2 call-frequency champion)
+xz             entropy coding: bit-twiddling loops, few calls
+=============  =======================================================
+
+The ``scale`` parameter multiplies loop trip counts; the default keeps a
+single run in the tens of thousands of simulated instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.toolchain.builder import IRBuilder
+from repro.toolchain.ir import Module
+from repro.workloads.programs import (
+    add_call_chain,
+    add_dispatch_table,
+    add_leaf_workers,
+    add_pointer_chase,
+    add_recursive_search,
+    add_stack_arg_worker,
+    emit_arith_kernel,
+    emit_call_loop,
+    emit_dispatch_loop,
+    emit_heap_touch,
+)
+
+
+def _main(ir: IRBuilder, footprint_pages: int = 0):
+    fb = ir.function("main")
+    fb.local("acc")
+    fb.store_local("acc", 0)
+    emit_heap_touch(fb, footprint_pages)
+    return fb
+
+
+def _finish(ir: IRBuilder, fb) -> Module:
+    fb.out(fb.band(fb.load_local("acc"), 0xFFFF_FFFF))
+    fb.ret(0)
+    return ir.finish()
+
+
+def build_perlbench(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("perlbench")
+    handlers = add_leaf_workers(ir, "op", 12, work=9)
+    add_dispatch_table(ir, "perl", handlers, "op_table")
+    fb = _main(ir, footprint_pages)
+    emit_dispatch_loop(fb, "op_table", len(handlers), 400 * scale, "acc")
+    emit_call_loop(fb, handlers[0], 170 * scale, "acc")
+    return _finish(ir, fb)
+
+
+def build_gcc(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("gcc")
+    leaves = add_leaf_workers(ir, "ast", 6, work=8)
+    chain = add_call_chain(ir, "parse", 5, leaves[0], work=10)
+    search = add_recursive_search(ir, "fold", 30)
+    fb = _main(ir, footprint_pages)
+    emit_call_loop(fb, chain, 40 * scale, "acc")
+    # Recursion depth is input-independent: real gcc's call volume scales
+    # with input size through its pass loops, not through deeper recursion.
+    result = fb.call(search, [10, 3])
+    fb.store_local("acc", fb.add(fb.load_local("acc"), result))
+    emit_arith_kernel(fb, 500 * scale, "acc")
+    return _finish(ir, fb)
+
+
+def build_mcf(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("mcf")
+    add_pointer_chase(ir, "arc", nodes=0)
+    leaves = add_leaf_workers(ir, "cost", 3, work=22)
+    fb = _main(ir, footprint_pages)
+    fb.local("head")
+    fb.store_local("head", fb.call("arc_build", [140 * scale]))
+    total = fb.call("arc_walk", [fb.load_local("head"), 140 * scale])
+    fb.store_local("acc", fb.add(fb.load_local("acc"), total))
+    emit_call_loop(fb, leaves[0], 680 * scale, "acc")
+    return _finish(ir, fb)
+
+
+def build_lbm(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("lbm")
+    leaves = add_leaf_workers(ir, "site", 2)
+    fb = _main(ir, footprint_pages)
+    emit_arith_kernel(fb, 1400 * scale, "acc")
+    emit_call_loop(fb, leaves[0], 4 * scale, "acc")
+    return _finish(ir, fb)
+
+
+def build_omnetpp(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("omnetpp")
+    # Tiny "virtual methods" that themselves call a leaf: dense,
+    # double-decker call traffic over many small functions.
+    inner = add_leaf_workers(ir, "msg", 8, work=5)
+    methods: List[str] = []
+    for index in range(16):
+        fb = ir.function(f"mod_handle{index}", params=["ev"])
+        ev = fb.param("ev")
+        value = fb.call(inner[index % len(inner)], [ev])
+        fb.ret(fb.add(value, index))
+        methods.append(fb.fn.name)
+    add_dispatch_table(ir, "omnet", methods, "vtable")
+    fb = _main(ir, footprint_pages)
+    emit_dispatch_loop(fb, "vtable", len(methods), 380 * scale, "acc")
+    return _finish(ir, fb)
+
+
+def build_xalancbmk(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("xalancbmk")
+    leaves = add_leaf_workers(ir, "node", 8, work=5)
+    chain = add_call_chain(ir, "template", 9, leaves[1], work=6)
+    wide = add_stack_arg_worker(ir, "fmt")
+    add_dispatch_table(ir, "xsl", leaves, "xsl_table")
+    fb = _main(ir, footprint_pages)
+    emit_call_loop(fb, chain, 38 * scale, "acc")
+    emit_dispatch_loop(fb, "xsl_table", len(leaves), 160 * scale, "acc")
+    body, done = "wide_loop", "wide_done"
+    ivar = fb.counted_loop(70 * scale, body, done)
+    i = fb.load_local(ivar)
+    w = fb.call(wide, [i, 1, 2, 3, 4, 5, 6, 7, 8])
+    fb.store_local("acc", fb.add(fb.load_local("acc"), w))
+    fb.loop_backedge(ivar, body)
+    fb.new_block(done)
+    return _finish(ir, fb)
+
+
+def build_x264(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("x264")
+    leaves = add_leaf_workers(ir, "sad", 4, work=12)
+    fb = _main(ir, footprint_pages)
+    emit_arith_kernel(fb, 600 * scale, "acc")
+    emit_call_loop(fb, leaves[0], 200 * scale, "acc")
+    emit_arith_kernel(fb, 300 * scale, "acc")
+    return _finish(ir, fb)
+
+
+def build_deepsjeng(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("deepsjeng")
+    search = add_recursive_search(ir, "ab", 36)
+    leaves = add_leaf_workers(ir, "eval", 4, work=10)
+    fb = _main(ir, footprint_pages)
+    result = fb.call(search, [10 + min(scale, 3), 1])
+    fb.store_local("acc", fb.add(fb.load_local("acc"), result))
+    emit_call_loop(fb, leaves[0], 150 * scale, "acc")
+    return _finish(ir, fb)
+
+
+def build_imagick(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("imagick")
+    leaves = add_leaf_workers(ir, "pix", 3, work=14)
+    fb = _main(ir, footprint_pages)
+    emit_arith_kernel(fb, 900 * scale, "acc")
+    emit_call_loop(fb, leaves[0], 170 * scale, "acc")
+    return _finish(ir, fb)
+
+
+def build_leela(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("leela")
+    search = add_recursive_search(ir, "mcts", 30)
+    add_pointer_chase(ir, "board", nodes=0)
+    leaves = add_leaf_workers(ir, "policy", 6, work=9)
+    add_dispatch_table(ir, "leela", leaves, "policy_table")
+    fb = _main(ir, footprint_pages)
+    result = fb.call(search, [10 + min(scale, 3), 2])
+    fb.store_local("acc", fb.add(fb.load_local("acc"), result))
+    fb.local("head")
+    fb.store_local("head", fb.call("board_build", [60 * scale]))
+    walked = fb.call("board_walk", [fb.load_local("head"), 60 * scale])
+    fb.store_local("acc", fb.add(fb.load_local("acc"), walked))
+    emit_dispatch_loop(fb, "policy_table", len(leaves), 130 * scale, "acc")
+    return _finish(ir, fb)
+
+
+def build_nab(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("nab")
+    leaves = add_leaf_workers(ir, "force", 2, work=18)
+    fb = _main(ir, footprint_pages)
+    emit_call_loop(fb, leaves[0], 650 * scale, "acc")
+    emit_call_loop(fb, leaves[1], 350 * scale, "acc")
+    emit_arith_kernel(fb, 350 * scale, "acc")
+    return _finish(ir, fb)
+
+
+def build_xz(scale: int = 1, footprint_pages: int = 0) -> Module:
+    ir = IRBuilder("xz")
+    leaves = add_leaf_workers(ir, "crc", 2, work=10)
+    fb = _main(ir, footprint_pages)
+    emit_arith_kernel(fb, 1200 * scale, "acc")
+    emit_call_loop(fb, leaves[0], 55 * scale, "acc")
+    return _finish(ir, fb)
+
+
+#: Benchmark name -> builder, in the paper's Figure 6 / Table 2 order.
+SPEC_BENCHMARKS: Dict[str, Callable[[int], Module]] = {
+    "perlbench": build_perlbench,
+    "gcc": build_gcc,
+    "mcf": build_mcf,
+    "lbm": build_lbm,
+    "omnetpp": build_omnetpp,
+    "xalancbmk": build_xalancbmk,
+    "x264": build_x264,
+    "deepsjeng": build_deepsjeng,
+    "imagick": build_imagick,
+    "leela": build_leela,
+    "nab": build_nab,
+    "xz": build_xz,
+}
+
+
+#: Default working-set ballast (heap pages) per benchmark for the memory
+#: experiment, loosely proportional to the real programs' footprints.
+SPEC_FOOTPRINT_PAGES: Dict[str, int] = {
+    "perlbench": 1400,
+    "gcc": 2000,
+    "mcf": 2800,
+    "lbm": 2600,
+    "omnetpp": 1000,
+    "xalancbmk": 1600,
+    "x264": 2100,
+    "deepsjeng": 1800,
+    "imagick": 2300,
+    "leela": 1100,
+    "nab": 1500,
+    "xz": 2400,
+}
+
+
+def build_spec_benchmark(
+    name: str, scale: int = 1, footprint_pages: int = 0
+) -> Module:
+    """Build one benchmark module by its SPEC name.
+
+    ``footprint_pages`` adds heap working-set ballast (used by the memory
+    experiment; see :data:`SPEC_FOOTPRINT_PAGES`)."""
+    try:
+        builder = SPEC_BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(SPEC_BENCHMARKS)}"
+        ) from None
+    return builder(scale, footprint_pages)

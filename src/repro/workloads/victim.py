@@ -1,0 +1,148 @@
+"""The vulnerable server program the security evaluation attacks.
+
+The victim reproduces the preconditions of the AOCR attacks (Section 2.3):
+
+* a **function-pointer global** (``handler_ptr``) that the request loop
+  calls indirectly — the whole-function-reuse hijack point;
+* a **default-parameter global** (``default_param``) passed to the handler
+  — AOCR attack (C) corrupts exactly such a value;
+* an attacker-desirable function ``target_exec`` ("the shell spawner"),
+  never called legitimately, but with its pointer reachable from the data
+  section (an ``admin_table``) — as libc functions are via the GOT;
+* **heap objects holding data-section pointers** reached from stack-held
+  heap pointers — the AOCR stepping stones (stack -> heap -> data);
+* a memory-corruption vulnerability: the ``attack_hook`` runtime call
+  inside ``process_request`` hands an attacker arbitrary read/write at a
+  moment when the stack is deep and observable (the Malicious Thread
+  Blocking assumption of Section 3).
+
+``target_exec`` emits ``SUCCESS_TAG | (arg & 0xFFFF)``; an attack counts
+as successful iff that tag appears in the process output with the
+attacker's argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.toolchain.builder import IRBuilder
+from repro.toolchain.ir import Module
+
+#: High bits of target_exec's output; low 16 bits echo its argument.
+SUCCESS_TAG = 0xDEAD_0000
+#: The argument value attacks try to force into target_exec.
+ATTACK_ARG = 0x5CA7
+#: Benign value of default_param.
+BENIGN_PARAM = 7
+
+
+@dataclass
+class VictimLayoutInfo:
+    """Names of the victim's attack-relevant symbols (for building the
+    attacker's *reference* knowledge from their own compile, never read
+    from the victim process)."""
+
+    handler_ptr_global: str = "handler_ptr"
+    default_param_global: str = "default_param"
+    admin_table_global: str = "admin_table"
+    config_global: str = "config_blob"
+    target_function: str = "target_exec"
+    benign_handler: str = "benign_handler"
+    request_function: str = "process_request"
+    #: Call chain active at the attack hook, innermost first.
+    hook_chain: tuple = ("validate", "parse_headers", "process_request", "main")
+
+
+def build_victim(requests: int = 6) -> Module:
+    """Build the victim module; ``requests`` request iterations."""
+    ir = IRBuilder("victim")
+
+    ir.global_var("default_param", init=(BENIGN_PARAM,))
+    ir.global_var("handler_ptr", init=(("benign_handler", 0),))
+    ir.global_var("config_blob", size_words=6, init=(3, 1, 4, 1, 5, 9))
+    ir.global_var("admin_table", size_words=2, init=(("target_exec", 0), ("audit_log", 0)))
+    ir.global_var("counters", size_words=4)
+
+    benign = ir.function("benign_handler", params=["arg"])
+    benign.ret(benign.add(benign.param("arg"), 1))
+
+    target = ir.function("target_exec", params=["cmd"])
+    cmd = target.param("cmd")
+    tagged = target.bor(target.band(cmd, 0xFFFF), SUCCESS_TAG)
+    target.out(tagged)
+    target.ret(0)
+
+    audit = ir.function("audit_log", params=["event"])
+    audit.store_global("counters", audit.param("event"), index=3)
+    audit.ret(0)
+
+    checksum = ir.function("checksum_block", params=["ptr", "words"])
+    checksum.local("sum")
+    checksum.store_local("sum", 0)
+    body, done = "ck", "ck_done"
+    ivar = checksum.counted_loop(checksum.param("words"), body, done)
+    i = checksum.load_local(ivar)
+    base = checksum.load_local("ptr")
+    word = checksum.load(checksum.add(base, checksum.mul(i, 8)))
+    checksum.store_local("sum", checksum.add(checksum.load_local("sum"), word))
+    checksum.loop_backedge(ivar, body)
+    checksum.new_block(done)
+    checksum.ret(checksum.load_local("sum"))
+
+    # The innermost frame: small locals, and the vulnerability itself.
+    validate = ir.function("validate", params=["hdr"])
+    validate.local("flags")
+    validate.store_local("flags", validate.band(validate.param("hdr"), 0xFF))
+    # --- the vulnerability: attacker gains read/write here, with the
+    # whole request-handling call chain observable on the stack ---
+    validate.rtcall("attack_hook", [], void=True)
+    validate.ret(validate.load_local("flags"))
+
+    # Middle frame: carries a heap pointer (the request object) in a
+    # parameter home — a benign heap pointer on the stack.
+    parse = ir.function("parse_headers", params=["obj_ptr"])
+    parse.local("hdr")
+    obj_word = parse.load(parse.param("obj_ptr"), offset=8)
+    parse.store_local("hdr", parse.add(obj_word, 0x20))
+    flags = parse.call("validate", [parse.load_local("hdr")])
+    parse.ret(flags)
+
+    # The vulnerable request handler.  Its frame holds heap pointers (the
+    # request object and a scratch buffer) and it blocks in attack_hook
+    # with several frames' worth of stack above it.
+    process = ir.function("process_request", params=["req_id"])
+    process.local("obj")       # heap pointer -> request object
+    process.local("scratch")   # heap pointer -> scratch buffer
+    process.local("hdrbuf", 8)  # a stack buffer (overflowable)
+    obj = process.rtcall("malloc", [32])
+    process.store(obj, process.addr_global("config_blob"), offset=0)
+    process.store(obj, process.param("req_id"), offset=8)
+    process.store(obj, process.addr_global("counters"), offset=16)
+    process.store_local("obj", obj)
+    scratch = process.rtcall("malloc", [64])
+    process.store_local("scratch", scratch)
+    process.store_local("hdrbuf", process.param("req_id"), index=0)
+    process.store_local("hdrbuf", 0x4745_5420, index=1)  # "GET "
+    ck = process.call("checksum_block", [process.load_local("obj"), 3])
+    process.store_local("hdrbuf", ck, index=2)
+    flags = process.call("parse_headers", [process.load_local("obj")])
+    process.store_local("hdrbuf", flags, index=3)
+    handler = process.load_global("handler_ptr")
+    param = process.load_global("default_param")
+    result = process.icall(handler, [param])
+    process.call("audit_log", [result])
+    process.ret(result)
+
+    fb = ir.function("main")
+    fb.local("acc")
+    fb.store_local("acc", 0)
+    body, done = "reqs", "reqs_done"
+    ivar = fb.counted_loop(requests, body, done)
+    i = fb.load_local(ivar)
+    r = fb.call("process_request", [i])
+    fb.store_local("acc", fb.add(fb.load_local("acc"), r))
+    fb.loop_backedge(ivar, body)
+    fb.new_block(done)
+    fb.out(fb.load_local("acc"))
+    fb.ret(0)
+    return ir.finish()

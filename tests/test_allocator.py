@@ -1,0 +1,141 @@
+"""Tests for the heap allocator substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocatorError
+from repro.heap.allocator import Allocator, HEADER_SIZE
+from repro.machine.memory import Memory, PAGE_SIZE, Perm
+
+HEAP_BASE = 0x100000
+HEAP_SIZE = 64 * PAGE_SIZE
+
+
+def make_allocator(size=HEAP_SIZE):
+    memory = Memory()
+    memory.map_region(HEAP_BASE, size, Perm.RW)
+    return Allocator(memory, HEAP_BASE, size)
+
+
+def test_malloc_returns_aligned_in_heap():
+    alloc = make_allocator()
+    ptr = alloc.malloc(100)
+    assert ptr % 16 == 0
+    assert HEAP_BASE <= ptr < HEAP_BASE + HEAP_SIZE
+
+
+def test_allocations_do_not_overlap():
+    alloc = make_allocator()
+    blocks = [(alloc.malloc(64), 64) for _ in range(32)]
+    spans = sorted((p, p + s) for p, s in blocks)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+def test_free_and_reuse():
+    alloc = make_allocator()
+    a = alloc.malloc(64)
+    alloc.free(a)
+    b = alloc.malloc(64)
+    assert b == a  # first fit reuses the space
+
+
+def test_double_free_detected():
+    alloc = make_allocator()
+    a = alloc.malloc(32)
+    alloc.free(a)
+    with pytest.raises(AllocatorError):
+        alloc.free(a)
+
+
+def test_free_of_wild_pointer_detected():
+    alloc = make_allocator()
+    with pytest.raises(AllocatorError):
+        alloc.free(HEAP_BASE + 64)
+
+
+def test_header_magic_corruption_detected():
+    alloc = make_allocator()
+    ptr = alloc.malloc(32)
+    alloc.memory.store_word_raw(ptr - HEADER_SIZE + 8, 0xBAD)
+    with pytest.raises(AllocatorError):
+        alloc.free(ptr)
+
+
+def test_page_aligned_allocation():
+    alloc = make_allocator()
+    alloc.malloc(24)  # misalign the cursor first
+    page = alloc.malloc_aligned(PAGE_SIZE, PAGE_SIZE)
+    assert page % PAGE_SIZE == 0
+    assert alloc.usable_size(page) == PAGE_SIZE
+
+
+def test_bad_alignment_rejected():
+    alloc = make_allocator()
+    with pytest.raises(AllocatorError):
+        alloc.malloc_aligned(64, 24)
+
+
+def test_out_of_memory():
+    alloc = make_allocator(size=2 * PAGE_SIZE)
+    alloc.malloc(PAGE_SIZE)
+    with pytest.raises(AllocatorError):
+        alloc.malloc(4 * PAGE_SIZE)
+
+
+def test_never_freed_chunk_is_never_reused():
+    """The property BTDP guard pages rely on (Section 5.2)."""
+    alloc = make_allocator()
+    kept = alloc.malloc_aligned(PAGE_SIZE, PAGE_SIZE)
+    neighbours = [alloc.malloc_aligned(PAGE_SIZE, PAGE_SIZE) for _ in range(8)]
+    for n in neighbours:
+        alloc.free(n)
+    for _ in range(20):
+        p = alloc.malloc(512)
+        assert not (kept <= p < kept + PAGE_SIZE)
+
+
+def test_coalescing_allows_big_allocation_after_frees():
+    alloc = make_allocator()
+    blocks = [alloc.malloc(PAGE_SIZE // 2) for _ in range(8)]
+    for b in blocks:
+        alloc.free(b)
+    alloc.check_consistency()
+    big = alloc.malloc(3 * PAGE_SIZE)
+    assert big is not None
+
+
+def test_stats_tracking():
+    alloc = make_allocator()
+    a = alloc.malloc(100)
+    b = alloc.malloc(200)
+    assert alloc.allocated_bytes == 300
+    assert alloc.peak_allocated == 300
+    alloc.free(a)
+    assert alloc.allocated_bytes == 200
+    assert alloc.peak_allocated == 300
+    assert alloc.live_allocations() == {b: 200}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=-16, max_value=512), min_size=1, max_size=60))
+def test_property_random_alloc_free_consistency(ops):
+    """Random malloc/free interleavings keep the free list consistent and
+    live allocations disjoint."""
+    alloc = make_allocator()
+    live = []
+    for op in ops:
+        if op > 0:
+            try:
+                ptr = alloc.malloc(op)
+            except AllocatorError:
+                continue
+            live.append((ptr, op))
+        elif live:
+            index = (-op) % len(live)
+            ptr, _ = live.pop(index)
+            alloc.free(ptr)
+    alloc.check_consistency()
+    spans = sorted((p, p + s) for p, s in live)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2

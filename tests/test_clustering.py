@@ -1,0 +1,55 @@
+"""Tests for AOCR's statistical pointer clustering."""
+
+from repro.attacks.clustering import (
+    classify_word,
+    cluster_by_gaps,
+    cluster_pointers,
+)
+from repro.machine.process import HEAP_ANCHOR, STACK_ANCHOR, TEXT_ANCHOR
+
+
+def test_classify_by_band():
+    assert classify_word(TEXT_ANCHOR + 0x1000) == "image"
+    assert classify_word(HEAP_ANCHOR + 0x4000) == "heap"
+    assert classify_word(STACK_ANCHOR + 0x100) == "stack"
+    assert classify_word(1234) == "other"
+    assert classify_word(0) == "other"
+
+
+def test_cluster_pointers_buckets_with_addresses():
+    words = [
+        (0x100, TEXT_ANCHOR + 8),
+        (0x108, HEAP_ANCHOR + 16),
+        (0x110, 42),
+        (0x118, STACK_ANCHOR + 24),
+    ]
+    clusters = cluster_pointers(words)
+    assert clusters.image == [(0x100, TEXT_ANCHOR + 8)]
+    assert clusters.heap_values() == [HEAP_ANCHOR + 16]
+    assert clusters.stack == [(0x118, STACK_ANCHOR + 24)]
+    assert clusters.other == [(0x110, 42)]
+
+
+def test_gap_clustering_splits_far_groups():
+    group_a = [1000, 1010, 1020]
+    group_b = [2**40, 2**40 + 5]
+    clusters = cluster_by_gaps(group_a + group_b)
+    assert len(clusters) == 2
+    assert sorted(clusters[0]) == group_a
+    assert sorted(clusters[1]) == group_b
+
+
+def test_gap_clustering_keeps_near_values_together():
+    values = [HEAP_ANCHOR + i * 4096 for i in range(10)]
+    clusters = cluster_by_gaps(values)
+    assert len(clusters) == 1
+
+
+def test_gap_clustering_empty():
+    assert cluster_by_gaps([]) == []
+
+
+def test_gap_clustering_respects_threshold():
+    values = [0, 100, 10**10]
+    assert len(cluster_by_gaps(values, gap=50)) == 3
+    assert len(cluster_by_gaps(values, gap=10**11)) == 1

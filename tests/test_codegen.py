@@ -1,0 +1,157 @@
+"""End-to-end codegen tests: compile, link, load, run vs the interpreter."""
+
+import pytest
+
+from repro.core.config import R2CConfig
+from repro.errors import LinkError
+from repro.toolchain.builder import IRBuilder
+from repro.toolchain.linker import link_module
+from tests.conftest import assert_equivalent, run_compiled
+
+
+def test_simple_module_baseline(simple_module):
+    assert_equivalent(simple_module, R2CConfig.baseline())
+
+
+def test_stack_arguments_baseline():
+    ir = IRBuilder()
+    wide = ir.function("wide", params=[f"p{i}" for i in range(10)])
+    acc = wide.param("p0")
+    for i in range(1, 10):
+        acc = wide.add(acc, wide.param(f"p{i}"))
+    wide.ret(acc)
+    m = ir.function("main")
+    m.out(m.call("wide", list(range(10))))
+    m.out(m.call("wide", [100] * 10))
+    m.ret(0)
+    assert_equivalent(ir.finish(), R2CConfig.baseline())
+
+
+def test_stack_arguments_with_odd_count():
+    ir = IRBuilder()
+    wide = ir.function("wide", params=[f"p{i}" for i in range(7)])  # 1 stack arg
+    acc = wide.param("p0")
+    for i in range(1, 7):
+        acc = wide.mul(wide.add(acc, wide.param(f"p{i}")), 3)
+    wide.ret(acc)
+    m = ir.function("main")
+    m.out(m.call("wide", [1, 2, 3, 4, 5, 6, 7]))
+    m.ret(0)
+    assert_equivalent(ir.finish(), R2CConfig.baseline())
+
+
+def test_recursion_deep():
+    ir = IRBuilder()
+    f = ir.function("countdown", params=["n", "acc"])
+    n = f.param("n")
+    done = f.cmp("le", n, 0)
+    f.cbr(done, "base", "rec")
+    f.new_block("base")
+    f.ret(f.param("acc"))
+    f.new_block("rec")
+    f.ret(f.call("countdown", [f.sub(f.param("n"), 1), f.add(f.param("acc"), f.param("n"))]))
+    m = ir.function("main")
+    m.out(m.call("countdown", [100, 0]))
+    m.ret(0)
+    assert_equivalent(ir.finish(), R2CConfig.baseline())
+
+
+def test_indirect_calls_and_got():
+    ir = IRBuilder()
+    for k in range(3):
+        f = ir.function(f"h{k}", params=["x"])
+        f.ret(f.add(f.param("x"), 10 * k))
+    ir.global_var("table", size_words=3, init=(("h0", 0), ("h1", 0), ("h2", 0)))
+    m = ir.function("main")
+    for k in range(3):
+        target = m.load_global("table", k)
+        m.out(m.icall(target, [k]))
+    fp = m.func_addr("h2")
+    m.out(m.icall(fp, [100]))
+    m.ret(0)
+    assert_equivalent(ir.finish(), R2CConfig.baseline())
+
+
+def test_heap_and_pointers():
+    ir = IRBuilder()
+    m = ir.function("main")
+    m.local("p")
+    m.store_local("p", m.rtcall("malloc", [64]))
+    p = m.load_local("p")
+    for i in range(4):
+        m.store(p, i * i, offset=8 * i)
+    total = 0
+    acc = m.const(0)
+    for i in range(4):
+        acc = m.add(acc, m.load(p, offset=8 * i))
+    m.out(acc)
+    m.rtcall("free", [m.load_local("p")], void=True)
+    m.ret(0)
+    assert_equivalent(ir.finish(), R2CConfig.baseline())
+
+
+def test_mod_lowering_uses_scratch_slot():
+    ir = IRBuilder()
+    m = ir.function("main")
+    m.out(m.mod(-17, 5))
+    m.out(m.mod(17, -5))
+    m.out(m.mod(12345678901234567, 97))
+    m.ret(0)
+    assert_equivalent(ir.finish(), R2CConfig.baseline())
+
+
+def test_void_function_returns_zero():
+    ir = IRBuilder()
+    f = ir.function("noop")
+    f.ret()
+    m = ir.function("main")
+    m.out(m.call("noop"))
+    m.ret(0)
+    assert_equivalent(ir.finish(), R2CConfig.baseline())
+
+
+def test_large_local_arrays():
+    ir = IRBuilder()
+    m = ir.function("main")
+    m.local("arr", 32)
+    for i in range(32):
+        m.store_local("arr", 2 * i + 1, index=i)
+    acc = m.const(0)
+    for i in range(0, 32, 5):
+        acc = m.add(acc, m.load_local("arr", i))
+    m.out(acc)
+    m.ret(0)
+    assert_equivalent(ir.finish(), R2CConfig.baseline())
+
+
+def test_entry_function_exit_code():
+    ir = IRBuilder()
+    m = ir.function("main")
+    m.ret(77)
+    result, _ = run_compiled(ir.finish())
+    assert result.exit_code == 77
+
+
+def test_missing_entry_rejected():
+    ir = IRBuilder()
+    f = ir.function("not_main")
+    f.ret(0)
+    with pytest.raises(LinkError, match="entry function"):
+        link_module(ir.finish())
+
+
+def test_every_config_component_is_semantics_preserving(simple_module):
+    for factory in (
+        R2CConfig.btra_push_only,
+        R2CConfig.btra_avx_only,
+        R2CConfig.btdp_only,
+        R2CConfig.prolog_only,
+        R2CConfig.layout_only,
+        R2CConfig.oia_only,
+    ):
+        assert_equivalent(simple_module, factory(seed=9))
+
+
+def test_full_config_both_modes(simple_module):
+    assert_equivalent(simple_module, R2CConfig.full(seed=4))
+    assert_equivalent(simple_module, R2CConfig.full(seed=4, btra_mode="push"))

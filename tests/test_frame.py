@@ -1,0 +1,61 @@
+"""Tests for frame layout and the 16-byte alignment parity rule."""
+
+import pytest
+
+from repro.errors import ToolchainError
+from repro.rng import DiversityRng
+from repro.toolchain.frame import build_frame
+
+
+def test_sequential_layout():
+    layout = build_frame([("a", 1), ("b", 2), ("c", 1)])
+    assert layout.offsets["a"] == 0
+    assert layout.offsets["b"] == 8
+    assert layout.offsets["c"] == 24
+
+
+def test_alignment_parity_rule():
+    """(frame_words + post + 1) must always be even (Section 5.1)."""
+    for post in range(0, 6):
+        for units in range(1, 9):
+            layout = build_frame([(f"s{i}", 1) for i in range(units)], post_offset=post)
+            frame_words = layout.frame_bytes // 8
+            assert (frame_words + post + 1) % 2 == 0, (post, units)
+
+
+def test_shuffle_permutes_offsets_but_keeps_extent():
+    units = [(f"s{i}", 1) for i in range(10)]
+    base = build_frame(units)
+    shuffled = build_frame(units, shuffle_rng=DiversityRng(5).child("slots"))
+    assert base.frame_bytes == shuffled.frame_bytes
+    assert set(base.offsets) == set(shuffled.offsets)
+    assert [base.offsets[n] for n, _ in units] != [shuffled.offsets[n] for n, _ in units]
+    # All offsets still distinct and within the frame.
+    offsets = sorted(shuffled.offsets.values())
+    assert len(set(offsets)) == len(offsets)
+    assert all(0 <= o < shuffled.frame_bytes for o in offsets)
+
+
+def test_arrays_stay_contiguous_under_shuffle():
+    units = [("buf", 4), ("x", 1), ("y", 1)]
+    shuffled = build_frame(units, shuffle_rng=DiversityRng(3).child("slots"))
+    other_offsets = [shuffled.offsets["x"], shuffled.offsets["y"]]
+    buf = shuffled.offsets["buf"]
+    for other in other_offsets:
+        assert not (buf <= other < buf + 32)
+
+
+def test_duplicate_slot_rejected():
+    with pytest.raises(ToolchainError):
+        build_frame([("a", 1), ("a", 1)])
+
+
+def test_bad_size_rejected():
+    with pytest.raises(ToolchainError):
+        build_frame([("a", 0)])
+
+
+def test_unknown_slot_lookup():
+    layout = build_frame([("a", 1)])
+    with pytest.raises(ToolchainError):
+        layout.offset("zzz")

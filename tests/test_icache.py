@@ -1,0 +1,73 @@
+"""Tests for the instruction-cache model."""
+
+import pytest
+
+from repro.machine.icache import ICache
+
+
+def test_first_access_misses_then_hits():
+    cache = ICache(size_bytes=1024, line_size=64, ways=2)
+    assert cache.access(0, 4) == 1
+    assert cache.access(0, 4) == 0
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_access_spanning_lines_touches_both():
+    cache = ICache(size_bytes=1024, line_size=64, ways=2)
+    misses = cache.access(60, 8)  # crosses the 64-byte boundary
+    assert misses == 2
+    assert cache.access(60, 8) == 0
+
+
+def test_lru_eviction_within_a_set():
+    cache = ICache(size_bytes=2 * 64, line_size=64, ways=2)  # one set, 2 ways
+    cache.access(0 * 64, 1)
+    cache.access(1 * 64, 1)
+    cache.access(2 * 64, 1)  # evicts line 0
+    assert cache.access(1 * 64, 1) == 0  # still cached
+    assert cache.access(0 * 64, 1) == 1  # was evicted
+
+
+def test_lru_order_updated_on_hit():
+    cache = ICache(size_bytes=2 * 64, line_size=64, ways=2)
+    cache.access(0, 1)
+    cache.access(64, 1)
+    cache.access(0, 1)  # refresh line 0
+    cache.access(128, 1)  # should evict line 64 (least recent)
+    assert cache.access(0, 1) == 0
+    assert cache.access(64, 1) == 1
+
+
+def test_distinct_sets_do_not_conflict():
+    cache = ICache(size_bytes=4 * 64, line_size=64, ways=2)  # 2 sets
+    # Lines 0 and 1 map to different sets; filling one set leaves the other.
+    cache.access(0, 1)
+    cache.access(64, 1)
+    cache.access(128, 1)
+    cache.access(256, 1)
+    assert cache.access(64, 1) == 0
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        ICache(size_bytes=1000, line_size=64, ways=8)
+
+
+def test_miss_rate_and_reset():
+    cache = ICache(size_bytes=1024, line_size=64, ways=2)
+    cache.access(0, 1)
+    cache.access(0, 1)
+    assert cache.miss_rate() == pytest.approx(0.5)
+    cache.reset_counters()
+    assert cache.accesses == 0
+    assert cache.miss_rate() == 0.0
+
+
+def test_big_code_footprint_thrashes_small_cache():
+    """The scaled cache must show pressure for multi-KiB hot loops."""
+    cache = ICache(size_bytes=4 * 1024, line_size=64, ways=8)
+    footprint_lines = 128  # 8 KiB of code, 2x the cache
+    for _ in range(3):
+        for line in range(footprint_lines):
+            cache.access(line * 64, 4)
+    assert cache.miss_rate() > 0.5

@@ -1,0 +1,178 @@
+"""Tests for the reference IR interpreter (the golden model)."""
+
+import pytest
+
+from repro.toolchain.builder import IRBuilder
+from repro.toolchain.interp import InterpError, interpret_module
+
+
+def build_and_run(build):
+    ir = IRBuilder()
+    build(ir)
+    return interpret_module(ir.finish())
+
+
+def test_arith_and_masking():
+    def build(ir):
+        m = ir.function("main")
+        m.out(m.add(2**63, 2**63))  # wraps to 0
+        m.out(m.mul(-3, 5))
+        m.ret(0)
+
+    exit_code, out = build_and_run(build)
+    assert out[0] == 0
+    assert out[1] == (-15) % 2**64
+
+
+def test_div_mod_c_semantics():
+    def build(ir):
+        m = ir.function("main")
+        m.out(m.div(-7, 2))
+        m.out(m.mod(-7, 2))
+        m.out(m.div(7, -2))
+        m.ret(0)
+
+    _, out = build_and_run(build)
+    signed = lambda v: v - 2**64 if v >= 2**63 else v
+    assert signed(out[0]) == -3
+    assert signed(out[1]) == -1
+    assert signed(out[2]) == -3
+
+
+def test_division_by_zero_raises():
+    def build(ir):
+        m = ir.function("main")
+        m.out(m.div(1, 0))
+        m.ret(0)
+
+    with pytest.raises(InterpError, match="division by zero"):
+        build_and_run(build)
+
+
+def test_uninitialized_local_read_raises():
+    def build(ir):
+        m = ir.function("main")
+        m.local("x")
+        m.out(m.load_local("x"))
+        m.ret(0)
+
+    with pytest.raises(InterpError, match="uninitialized"):
+        build_and_run(build)
+
+
+def test_call_and_recursion():
+    def build(ir):
+        fib = ir.function("fib", params=["n"])
+        n = fib.param("n")
+        small = fib.cmp("le", n, 1)
+        fib.cbr(small, "base", "rec")
+        fib.new_block("base")
+        fib.ret(fib.param("n"))
+        fib.new_block("rec")
+        a = fib.call("fib", [fib.sub(fib.param("n"), 1)])
+        b = fib.call("fib", [fib.sub(fib.param("n"), 2)])
+        fib.ret(fib.add(a, b))
+        m = ir.function("main")
+        m.out(m.call("fib", [10]))
+        m.ret(0)
+
+    assert build_and_run(build) == (0, [55])
+
+
+def test_icall_through_func_addr():
+    def build(ir):
+        inc = ir.function("inc", params=["x"])
+        inc.ret(inc.add(inc.param("x"), 1))
+        m = ir.function("main")
+        fp = m.func_addr("inc")
+        m.out(m.icall(fp, [41]))
+        m.ret(0)
+
+    assert build_and_run(build) == (0, [42])
+
+
+def test_icall_to_non_function_raises():
+    def build(ir):
+        m = ir.function("main")
+        m.out(m.icall(12345, [1]))
+        m.ret(0)
+
+    with pytest.raises(InterpError, match="indirect call"):
+        build_and_run(build)
+
+
+def test_global_pointer_arithmetic():
+    def build(ir):
+        ir.global_var("table", size_words=4, init=(10, 20, 30, 40))
+        m = ir.function("main")
+        base = m.addr_global("table")
+        m.out(m.load(m.add(base, 16)))  # word 2
+        m.out(m.load_global("table", 3))
+        m.ret(0)
+
+    assert build_and_run(build) == (0, [30, 40])
+
+
+def test_malloc_gives_disjoint_memory():
+    def build(ir):
+        m = ir.function("main")
+        a = m.rtcall("malloc", [16])
+        b = m.rtcall("malloc", [16])
+        m.store(a, 1)
+        m.store(b, 2)
+        m.out(m.load(a))
+        m.out(m.load(b))
+        m.ret(0)
+
+    assert build_and_run(build) == (0, [1, 2])
+
+
+def test_function_pointer_in_global_init():
+    def build(ir):
+        f = ir.function("f", params=["x"])
+        f.ret(f.mul(f.param("x"), 3))
+        ir.global_var("fptr", init=(("f", 0),))
+        m = ir.function("main")
+        target = m.load_global("fptr")
+        m.out(m.icall(target, [5]))
+        m.ret(0)
+
+    assert build_and_run(build) == (0, [15])
+
+
+def test_step_budget():
+    def build(ir):
+        m = ir.function("main")
+        m.br("loop")
+        m.new_block("loop")
+        m.br("loop")
+
+    ir = IRBuilder()
+    build(ir)
+    with pytest.raises(InterpError, match="budget"):
+        interpret_module(ir.finish(), step_budget=1000)
+
+
+def test_arg_count_mismatch():
+    def build(ir):
+        f = ir.function("f", params=["a", "b"])
+        f.ret(0)
+        m = ir.function("main")
+        m.call("f", [1])
+        m.ret(0)
+
+    with pytest.raises(InterpError, match="expected 2 args"):
+        build_and_run(build)
+
+
+def test_negative_index_addressing():
+    def build(ir):
+        m = ir.function("main")
+        m.local("arr", 4)
+        m.store_local("arr", 9, index=2)
+        # load arr[3 - 1] via a computed negative-offset-capable index
+        idx = m.sub(3, 1)
+        m.out(m.load_local("arr", idx))
+        m.ret(0)
+
+    assert build_and_run(build) == (0, [9])

@@ -1,0 +1,163 @@
+"""Tests for the IR, the builder API, and module validation."""
+
+import pytest
+
+from repro.errors import ToolchainError
+from repro.toolchain.builder import IRBuilder
+from repro.toolchain.ir import BasicBlock, Function, GlobalVar, IRInstr, Module
+
+
+def test_builder_produces_valid_module(simple_module):
+    simple_module.validate()
+    assert set(simple_module.functions) == {"double", "main"}
+    assert simple_module.global_var("counter").init == (5,)
+
+
+def test_duplicate_function_rejected():
+    ir = IRBuilder()
+    ir.function("f")
+    with pytest.raises(ToolchainError):
+        ir.function("f")
+
+
+def test_duplicate_global_rejected():
+    ir = IRBuilder()
+    ir.global_var("g")
+    with pytest.raises(ToolchainError):
+        ir.global_var("g")
+
+
+def test_unterminated_block_rejected():
+    ir = IRBuilder()
+    f = ir.function("f")
+    f.const(1)  # no terminator
+    with pytest.raises(ToolchainError, match="terminator"):
+        ir.finish()
+
+
+def test_emit_after_terminator_rejected():
+    ir = IRBuilder()
+    f = ir.function("f")
+    f.ret(0)
+    with pytest.raises(ToolchainError, match="after terminator"):
+        f.const(1)
+
+
+def test_unknown_call_target_rejected():
+    module = Module()
+    fn = Function(
+        "f",
+        blocks=[
+            BasicBlock(
+                "entry",
+                [IRInstr("call", ("%r", "ghost", ())), IRInstr("ret", (0,))],
+            )
+        ],
+    )
+    module.add_function(fn)
+    with pytest.raises(ToolchainError, match="unknown function"):
+        module.validate()
+
+
+def test_unknown_label_rejected():
+    ir = IRBuilder()
+    f = ir.function("f")
+    f.br("nowhere")
+    with pytest.raises(ToolchainError, match="unknown label"):
+        ir.finish()
+
+
+def test_unknown_local_rejected():
+    module = Module()
+    fn = Function(
+        "f",
+        blocks=[
+            BasicBlock(
+                "entry",
+                [IRInstr("local_load", ("%x", "ghost", 0)), IRInstr("ret", (0,))],
+            )
+        ],
+    )
+    module.add_function(fn)
+    with pytest.raises(ToolchainError, match="unknown local"):
+        module.validate()
+
+
+def test_unknown_global_rejected():
+    ir = IRBuilder()
+    f = ir.function("f")
+    with pytest.raises(ToolchainError):
+        f.load_global("ghost")  # builder defers; validation catches it
+        f.ret(0)
+        ir.finish()
+
+
+def test_global_with_too_many_initializers_rejected():
+    with pytest.raises(ToolchainError):
+        GlobalVar("g", size_words=1, init=(1, 2))
+
+
+def test_bad_binop_rejected():
+    module = Module()
+    fn = Function(
+        "f",
+        blocks=[
+            BasicBlock(
+                "entry", [IRInstr("bin", ("frobnicate", "%d", 1, 2)), IRInstr("ret", (0,))]
+            )
+        ],
+    )
+    module.add_function(fn)
+    with pytest.raises(ToolchainError, match="unknown binary op"):
+        module.validate()
+
+
+def test_terminator_mid_block_rejected():
+    module = Module()
+    fn = Function(
+        "f",
+        blocks=[BasicBlock("entry", [IRInstr("ret", (0,)), IRInstr("ret", (0,))])],
+    )
+    module.add_function(fn)
+    with pytest.raises(ToolchainError, match="mid-block"):
+        module.validate()
+
+
+def test_param_access_requires_declared_param():
+    ir = IRBuilder()
+    f = ir.function("f", params=["x"])
+    assert f.param("x")
+    with pytest.raises(ToolchainError):
+        f.param("y")
+
+
+def test_has_stack_objects():
+    ir = IRBuilder()
+    f = ir.function("leaf")
+    f.ret(0)
+    g = ir.function("with_local")
+    g.local("tmp")
+    g.ret(0)
+    h = ir.function("with_param", params=["x"])
+    h.ret(0)
+    module = ir.finish()
+    assert not module.functions["leaf"].has_stack_objects()
+    assert module.functions["with_local"].has_stack_objects()
+    assert module.functions["with_param"].has_stack_objects()
+
+
+def test_counted_loop_helper_runs():
+    from repro.toolchain.interp import interpret_module
+
+    ir = IRBuilder()
+    main = ir.function("main")
+    main.local("sum")
+    main.store_local("sum", 0)
+    ivar = main.counted_loop(5, "body", "done")
+    i = main.load_local(ivar)
+    main.store_local("sum", main.add(main.load_local("sum"), i))
+    main.loop_backedge(ivar, "body")
+    main.new_block("done")
+    main.out(main.load_local("sum"))
+    main.ret(0)
+    assert interpret_module(ir.finish()) == (0, [10])

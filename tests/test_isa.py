@@ -1,0 +1,85 @@
+"""Tests for instruction encoding sizes and operand types."""
+
+from repro.machine.isa import (
+    ALLOCATABLE_GPRS,
+    GPRS,
+    Imm,
+    Instruction,
+    Label,
+    Mem,
+    Op,
+    Reg,
+    VECTOR_REGS,
+    encoded_size,
+)
+
+
+def test_register_sets():
+    assert len(GPRS) == 16
+    assert Reg.RSP in GPRS and Reg.RSP not in ALLOCATABLE_GPRS
+    assert Reg.RBP not in ALLOCATABLE_GPRS
+    assert all(r.name.startswith("YMM") for r in VECTOR_REGS)
+
+
+def test_push_imm_is_wide():
+    """A pushed 64-bit BTRA costs more bytes than a pushed register —
+    this is the i-cache pressure mechanism of Section 6.2.1."""
+    wide = encoded_size(Op.PUSH, Imm(0x5555_5555_0000), None)
+    narrow = encoded_size(Op.PUSH, Reg.RAX, None)
+    assert wide > narrow
+    assert wide == 8
+
+
+def test_mov_imm64_is_widest():
+    assert encoded_size(Op.MOV, Reg.RAX, Imm(2**40)) == 10
+    assert encoded_size(Op.MOV, Reg.RAX, Imm(5)) == 7
+    assert encoded_size(Op.MOV, Reg.RAX, Imm(symbol="f")) == 10
+
+
+def test_mem_operands_cost_extra_bytes():
+    reg_form = encoded_size(Op.MOV, Reg.RAX, Reg.RBX)
+    mem_form = encoded_size(Op.MOV, Reg.RAX, Mem(Reg.RSP, 8))
+    assert mem_form > reg_form
+
+
+def test_instruction_size_override():
+    nop = Instruction(Op.NOP, size=5)
+    assert nop.size == 5
+    assert Instruction(Op.NOP).size == 1
+
+
+def test_trap_is_one_byte():
+    """Booby-trap bodies must be 1-byte instructions so any BTRA offset
+    lands on an instruction boundary (Section 4.1)."""
+    assert Instruction(Op.TRAP).size == 1
+
+
+def test_operand_equality_and_repr():
+    assert Imm(5) == Imm(5)
+    assert Imm(5, symbol="a") != Imm(5)
+    assert "a" in repr(Imm(0, symbol="a"))
+    assert Label("x") == Label("x")
+    assert "rsp" in repr(Mem(Reg.RSP, 16))
+    text = repr(Instruction(Op.MOV, Reg.RAX, Imm(1), tag="btdp"))
+    assert "mov" in text and "btdp" in text
+
+
+def test_avx_setup_encodes_smaller_than_push_setup():
+    """The Section 5.1.2 claim in bytes: batching 12 slots with vector
+    instructions takes less code than 12 wide pushes."""
+    push_bytes = 11 * encoded_size(Op.PUSH, Imm(1, symbol="t"), None) + encoded_size(
+        Op.ADD, Reg.RSP, Imm(16)
+    )
+    avx_bytes = (
+        3 * encoded_size(Op.VLOAD, Reg.YMM0, Mem(symbol="arr"))
+        + 3 * encoded_size(Op.VSTORE, Mem(Reg.RSP, -96), Reg.YMM0)
+        + encoded_size(Op.VZEROUPPER, None, None)
+        + encoded_size(Op.SUB, Reg.RSP, Imm(16))
+    )
+    assert avx_bytes < push_bytes
+
+
+def test_indirect_call_sizes():
+    assert encoded_size(Op.CALL, Reg.RAX, None) == 3
+    assert encoded_size(Op.CALL, Mem(Reg.RAX), None) == 7
+    assert encoded_size(Op.CALL, Imm(symbol="f"), None) == 5

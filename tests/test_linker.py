@@ -1,0 +1,146 @@
+"""Tests for the linker: layout, symbols, relocations, eh_frame metadata."""
+
+import pytest
+
+from repro.core.config import R2CConfig
+from repro.core.pass_manager import build_plan
+from repro.errors import LinkError
+from repro.toolchain.builder import IRBuilder
+from repro.toolchain.ir import GlobalVar
+from repro.toolchain.linker import link_module
+from repro.toolchain.plan import ModulePlan
+
+
+def two_function_module():
+    ir = IRBuilder()
+    f = ir.function("helper", params=["x"])
+    f.ret(f.add(f.param("x"), 1))
+    m = ir.function("main")
+    m.out(m.call("helper", [1]))
+    m.ret(0)
+    ir.global_var("gv", init=(9,))
+    return ir.finish()
+
+
+def test_start_is_first_and_symbols_present():
+    binary = link_module(two_function_module())
+    assert binary.symbols_text["_start"] == 0
+    assert "main" in binary.symbols_text
+    assert "helper" in binary.symbols_text
+    assert "gv" in binary.symbols_data
+
+
+def test_function_ranges_are_disjoint_and_cover_text():
+    binary = link_module(two_function_module())
+    ranges = sorted(binary.function_range(n) for n in binary.function_names())
+    for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+        assert e1 <= s2
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == binary.text_size
+
+
+def test_function_at_offset():
+    binary = link_module(two_function_module())
+    start, end = binary.function_range("main")
+    assert binary.function_at_offset(start) == "main"
+    assert binary.function_at_offset(end - 1) == "main"
+    assert binary.function_at_offset(binary.text_size + 100) is None
+
+
+def test_plan_function_order_is_respected():
+    module = two_function_module()
+    plan = ModulePlan(function_order=["main", "helper"])
+    binary = link_module(module, plan)
+    assert binary.symbols_text["main"] < binary.symbols_text["helper"]
+    plan2 = ModulePlan(function_order=["helper", "main"])
+    binary2 = link_module(module, plan2)
+    assert binary2.symbols_text["helper"] < binary2.symbols_text["main"]
+
+
+def test_data_relocs_for_function_pointers():
+    ir = IRBuilder()
+    f = ir.function("f", params=["x"])
+    f.ret(f.param("x"))
+    ir.global_var("fp", init=(("f", 0),))
+    m = ir.function("main")
+    m.ret(0)
+    binary = link_module(ir.finish())
+    reloc_symbols = [sym for _, sym, _ in binary.data_relocs]
+    assert "f" in reloc_symbols
+
+
+def test_got_created_only_when_needed():
+    binary = link_module(two_function_module())
+    assert "__got__" not in binary.symbols_data
+
+    ir = IRBuilder()
+    f = ir.function("f", params=["x"])
+    f.ret(f.param("x"))
+    m = ir.function("main")
+    fp = m.func_addr("f")
+    m.out(m.icall(fp, [1]))
+    m.ret(0)
+    binary2 = link_module(ir.finish())
+    assert "__got__" in binary2.symbols_data
+
+
+def test_eh_frame_rows_sorted_and_anonymous():
+    module = two_function_module()
+    plan, _ = build_plan(module, R2CConfig.full(seed=5))
+    binary = link_module(module, plan)
+    rows = binary.eh_frame_rows()
+    starts = [row[0] for row in rows]
+    assert starts == sorted(starts)
+    # Rows are plain tuples with no names in them.
+    assert all(len(row) == 4 for row in rows)
+
+
+def test_callsite_records_point_into_caller():
+    binary = link_module(two_function_module())
+    for offset, record in binary.callsite_records.items():
+        start, end = binary.function_range(record.caller)
+        assert start <= offset < end
+
+
+def test_undefined_symbol_in_global_init_rejected():
+    ir = IRBuilder()
+    m = ir.function("main")
+    m.ret(0)
+    module = ir.finish()
+    module.globals.append(GlobalVar("bad", init=(("ghost_symbol", 0),)))
+    with pytest.raises(LinkError, match="ghost_symbol"):
+        link_module(module)
+
+
+def test_duplicate_symbol_across_sections_rejected():
+    ir = IRBuilder()
+    m = ir.function("main")
+    m.ret(0)
+    module = ir.finish()
+    module.globals.append(GlobalVar("main"))
+    with pytest.raises(LinkError):
+        link_module(module)
+
+
+def test_same_seed_reproducible_binary():
+    module = two_function_module()
+    config = R2CConfig.full(seed=77)
+    plan_a, _ = build_plan(module, config)
+    import copy
+
+    module_b = two_function_module()
+    plan_b, _ = build_plan(module_b, config)
+    binary_a = link_module(module, plan_a)
+    binary_b = link_module(module_b, plan_b)
+    assert binary_a.symbols_text == binary_b.symbols_text
+    assert binary_a.data_image == binary_b.data_image
+
+
+def test_different_seed_different_layout():
+    module_a = two_function_module()
+    plan_a, _ = build_plan(module_a, R2CConfig.full(seed=1))
+    module_b = two_function_module()
+    plan_b, _ = build_plan(module_b, R2CConfig.full(seed=2))
+    binary_a = link_module(module_a, plan_a)
+    binary_b = link_module(module_b, plan_b)
+    assert binary_a.symbols_text != binary_b.symbols_text

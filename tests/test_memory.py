@@ -1,0 +1,154 @@
+"""Tests for the paged virtual memory: permissions, guard pages, residency."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GuardPageFault, MemoryFault
+from repro.machine.memory import Memory, PAGE_SIZE, Perm, page_base, page_range
+
+
+BASE = 0x10000
+
+
+def make_memory(perm=Perm.RW, pages=4):
+    memory = Memory()
+    memory.map_region(BASE, pages * PAGE_SIZE, perm)
+    return memory
+
+
+def test_read_write_roundtrip():
+    memory = make_memory()
+    memory.write(BASE + 100, b"hello world")
+    assert memory.read(BASE + 100, 11) == b"hello world"
+
+
+def test_word_roundtrip_and_wrapping():
+    memory = make_memory()
+    memory.write_word(BASE, 2**64 - 1)
+    assert memory.read_word(BASE) == 2**64 - 1
+    memory.write_word(BASE, -1)
+    assert memory.read_word(BASE) == 2**64 - 1
+
+
+def test_cross_page_access():
+    memory = make_memory()
+    addr = BASE + PAGE_SIZE - 4
+    memory.write(addr, b"12345678")
+    assert memory.read(addr, 8) == b"12345678"
+
+
+def test_unmapped_read_faults():
+    memory = make_memory()
+    with pytest.raises(MemoryFault) as info:
+        memory.read(BASE - PAGE_SIZE, 8)
+    assert info.value.reason == "unmapped"
+
+
+def test_write_to_readonly_faults():
+    memory = make_memory(Perm.R)
+    assert memory.read(BASE, 8) == bytes(8)
+    with pytest.raises(MemoryFault):
+        memory.write(BASE, b"x")
+
+
+def test_execute_only_is_unreadable_but_fetchable():
+    memory = make_memory(Perm.X)
+    memory.fetch_check(BASE, 4)  # must not raise
+    with pytest.raises(MemoryFault):
+        memory.read(BASE, 1)
+    with pytest.raises(MemoryFault):
+        memory.write(BASE, b"x")
+
+
+def test_fetch_from_non_executable_faults():
+    memory = make_memory(Perm.RW)
+    with pytest.raises(MemoryFault) as info:
+        memory.fetch_check(BASE)
+    assert info.value.kind == "fetch"
+
+
+def test_guard_page_raises_guard_fault():
+    memory = make_memory()
+    memory.write_word(BASE + PAGE_SIZE, 7)  # touch before protecting
+    memory.protect(BASE + PAGE_SIZE, PAGE_SIZE, Perm.NONE, guard=True)
+    with pytest.raises(GuardPageFault):
+        memory.read(BASE + PAGE_SIZE + 8, 8)
+    with pytest.raises(GuardPageFault):
+        memory.write(BASE + PAGE_SIZE, b"y")
+    # Neighbouring pages still work.
+    memory.write_word(BASE, 1)
+    assert memory.read_word(BASE) == 1
+
+
+def test_guard_fault_is_a_memory_fault_subclass():
+    assert issubclass(GuardPageFault, MemoryFault)
+
+
+def test_protect_unmapped_fails():
+    memory = make_memory()
+    with pytest.raises(MemoryFault):
+        memory.protect(BASE + 100 * PAGE_SIZE, PAGE_SIZE, Perm.NONE)
+
+
+def test_double_map_rejected():
+    memory = make_memory()
+    with pytest.raises(MemoryFault):
+        memory.map_region(BASE, PAGE_SIZE, Perm.RW)
+
+
+def test_raw_access_bypasses_permissions():
+    memory = make_memory(Perm.NONE)
+    memory.store_word_raw(BASE, 123)
+    assert memory.load_word_raw(BASE) == 123
+    with pytest.raises(MemoryFault):
+        memory.read_word(BASE)
+
+
+def test_resident_counts_touched_pages_only():
+    memory = make_memory(pages=8)
+    assert memory.resident_bytes() == 0
+    memory.write_word(BASE, 1)
+    assert memory.resident_bytes() == PAGE_SIZE
+    memory.write_word(BASE + 3 * PAGE_SIZE, 1)
+    assert memory.resident_bytes() == 2 * PAGE_SIZE
+    memory.read(BASE, 8)  # already touched
+    assert memory.resident_bytes() == 2 * PAGE_SIZE
+
+
+def test_page_range_enumeration():
+    assert list(page_range(0, 1)) == [0]
+    assert list(page_range(PAGE_SIZE - 1, 2)) == [0, PAGE_SIZE]
+    assert list(page_range(0, 0)) == []
+    assert page_base(PAGE_SIZE + 5) == PAGE_SIZE
+
+
+def test_perm_and_guard_queries():
+    memory = make_memory()
+    assert memory.is_mapped(BASE)
+    assert not memory.is_mapped(BASE - 1)
+    assert memory.perm_at(BASE) == Perm.RW
+    assert memory.perm_at(BASE - PAGE_SIZE) is None
+    memory.protect(BASE, PAGE_SIZE, Perm.NONE, guard=True)
+    assert memory.is_guard(BASE + 10)
+    assert not memory.is_guard(BASE + PAGE_SIZE)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4 * PAGE_SIZE - 9),
+            st.binary(min_size=1, max_size=64),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_last_write_wins(writes):
+    """Any sequence of in-bounds writes reads back exactly."""
+    memory = make_memory()
+    shadow = bytearray(4 * PAGE_SIZE)
+    for offset, data in writes:
+        data = data[: 4 * PAGE_SIZE - offset]
+        memory.write(BASE + offset, data)
+        shadow[offset : offset + len(data)] = data
+    assert memory.read(BASE, 4 * PAGE_SIZE) == bytes(shadow)

@@ -1,0 +1,93 @@
+"""Tests for the MVEE combination (Section 7.3).
+
+The claim under test: because R2C diversifies along multiple dimensions,
+running two differently-diversified variants under input replication turns
+even *silently successful* attacks into detectable divergence.
+"""
+
+import pytest
+
+from repro.attacks.outcomes import AttackOutcome
+from repro.attacks.rop import make_rop_hook
+from repro.attacks.aocr import make_aocr_hook
+from repro.core.config import R2CConfig
+from repro.defenses.mvee import MVEE, MveeOutcome, mvee_attack_outcome
+
+
+def test_mvee_requires_two_variants():
+    with pytest.raises(ValueError):
+        MVEE(R2CConfig.baseline(), variants=1)
+
+
+def test_benign_runs_agree():
+    """Diversified variants are observationally equivalent, so the
+    cross-check is quiet in normal operation — the MVEE's false-positive
+    story depends on exactly this."""
+    mvee = MVEE(R2CConfig.full(), variants=3, build_seed=10)
+    result = mvee.run()
+    assert result.outcome is MveeOutcome.CLEAN
+    outputs = {run.output for run in result.variants}
+    assert len(outputs) == 1
+    assert all(run.status == "exit" for run in result.variants)
+
+
+def test_variants_are_actually_different_binaries():
+    mvee = MVEE(R2CConfig.full(), variants=2, build_seed=10)
+    a, b = mvee.binaries
+    assert a.symbols_text != b.symbols_text
+
+
+def test_mvee_detects_rop_that_baseline_misses():
+    """Against a single undiversified victim the ROP attack succeeds
+    silently.  Under an MVEE of two *baseline* variants it still wins
+    (identical layouts -> identical corruption), but with R2C variants the
+    same replicated writes diverge."""
+    identical = MVEE(R2CConfig.baseline(), variants=2, build_seed=0)
+    # Baseline "variants" are bit-identical: the attack compromises both.
+    result = identical.run(make_rop_hook(), attacker_seed=1)
+    assert result.outcome is MveeOutcome.COMPROMISED
+    assert mvee_attack_outcome(result) is AttackOutcome.SUCCESS
+
+    diversified = MVEE(R2CConfig.full(), variants=2, build_seed=0)
+    result = diversified.run(make_rop_hook(), attacker_seed=1)
+    assert result.outcome is not MveeOutcome.COMPROMISED
+
+
+def test_mvee_turns_aocr_into_detection():
+    detections = 0
+    for trial in range(4):
+        mvee = MVEE(R2CConfig.full(), variants=2, build_seed=50 + trial)
+        result = mvee.run(make_aocr_hook(), attacker_seed=trial)
+        assert result.outcome is not MveeOutcome.COMPROMISED
+        if result.detected:
+            detections += 1
+    assert detections >= 2
+
+
+def test_mvee_detects_even_against_weak_diversity():
+    """The complementarity claim: even a *partially* diversified build
+    (code shuffling only, which AOCR beats one-on-one) becomes resistant
+    under an MVEE, because the data writes that succeed in the leader
+    corrupt different bytes in the follower."""
+    code_only = R2CConfig(
+        enable_function_shuffle=True,
+        enable_global_shuffle=True,
+        enable_stack_slot_shuffle=True,
+    )
+    compromised = 0
+    for trial in range(4):
+        mvee = MVEE(code_only, variants=2, build_seed=80 + trial)
+        result = mvee.run(make_aocr_hook(), attacker_seed=trial)
+        if result.outcome is MveeOutcome.COMPROMISED:
+            compromised += 1
+    assert compromised <= 1
+
+
+def test_mvee_result_bookkeeping():
+    mvee = MVEE(R2CConfig.full(), variants=2, build_seed=5)
+    result = mvee.run(make_rop_hook(), attacker_seed=2)
+    assert len(result.variants) == 2
+    assert mvee_attack_outcome(result) in (
+        AttackOutcome.DETECTED,
+        AttackOutcome.FAILED,
+    )

@@ -1,0 +1,116 @@
+"""Tests for the victim-session harness: probes, restarts, budgets."""
+
+import pytest
+
+from repro.attacks.monitor import DefenseMonitor
+from repro.attacks.scenario import AttackAborted, VictimSession, run_attack
+from repro.attacks.outcomes import AttackOutcome
+from repro.core.config import R2CConfig
+from repro.workloads.victim import ATTACK_ARG, SUCCESS_TAG
+
+
+def test_probe_clean_on_noop_hook():
+    session = VictimSession(R2CConfig.baseline())
+    status, result = session.probe(lambda view: None)
+    assert status == "clean"
+    assert result is not None and result.exit_code == 0
+
+
+def test_probe_hook_fires_exactly_once():
+    session = VictimSession(R2CConfig.baseline())
+    fired = []
+    session.probe(lambda view: fired.append(view.rsp))
+    assert len(fired) == 1  # six requests, one armed hook
+
+
+def test_probe_abort_is_clean():
+    session = VictimSession(R2CConfig.baseline())
+
+    def hook(view):
+        raise AttackAborted("giving up")
+
+    status, _ = session.probe(hook)
+    assert status == "clean"
+
+
+def test_probe_crash_classified():
+    session = VictimSession(R2CConfig.baseline())
+
+    def hook(view):
+        view.read_word(0xDEAD_0000_0000)
+
+    status, result = session.probe(hook)
+    assert status == "crashed"
+    assert result is None
+    assert session.monitor.crashes == 1
+
+
+def test_probe_detection_classified():
+    session = VictimSession(R2CConfig.full(seed=3))
+
+    def hook(view):
+        process = view._process
+        view.read_word(process.r2c_runtime["btdp_values"][0])
+
+    status, _ = session.probe(hook)
+    assert status == "detected"
+    assert session.monitor.btdp_hits == 1
+
+
+def test_forked_workers_share_layout():
+    session = VictimSession(R2CConfig.full(seed=3))
+    p1, _ = session.spawn()
+    p2, _ = session.spawn()
+    assert p1.symbols == p2.symbols
+
+
+def test_detection_budget_trips():
+    monitor = DefenseMonitor(detection_budget=2)
+    assert not monitor.tripped
+    from repro.errors import GuardPageFault
+
+    monitor.classify(GuardPageFault("read", 1))
+    monitor.classify(GuardPageFault("read", 2))
+    assert monitor.tripped
+
+
+def test_run_attack_success_path():
+    session = VictimSession(R2CConfig.baseline())
+
+    def hook(view):
+        # Simulate the goal directly: write through the handler pointer.
+        ref = view.reference
+        process = view._process
+        data_base = process.symbols["config_blob"] - ref.global_offset("config_blob")
+        target = view.read_word(data_base + ref.global_offset("admin_table"))
+        view.write_word(data_base + ref.global_offset("handler_ptr"), target)
+        view.write_word(data_base + ref.global_offset("default_param"), ATTACK_ARG)
+
+    result = run_attack(session, hook, "manual")
+    assert result.outcome is AttackOutcome.SUCCESS
+    assert result.attack == "manual"
+
+
+def test_victim_session_with_build_seed_override():
+    a = VictimSession(R2CConfig.full(), build_seed=1)
+    b = VictimSession(R2CConfig.full(), build_seed=2)
+    assert a.config.seed == 1 and b.config.seed == 2
+    assert a.binary.symbols_text != b.binary.symbols_text
+
+
+def test_cli_list_and_unknown(capsys):
+    from repro.__main__ import main
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "figure6" in out
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_cli_runs_quick_security(capsys):
+    from repro.__main__ import main
+
+    assert main(["security", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "closed" in out

@@ -1,0 +1,63 @@
+"""Quick-size tests for the sweep and decomposition experiment drivers
+(the benchmarks run them at full size)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    experiment_btra_sweep,
+    experiment_btdp_sweep,
+    experiment_opt_levels,
+    experiment_overhead_decomposition,
+)
+from repro.eval.report import (
+    render_btdp_sweep,
+    render_btra_sweep,
+    render_decomposition,
+    render_opt_levels,
+)
+
+
+def test_btra_sweep_small():
+    data = experiment_btra_sweep(counts=(2, 10), benchmark="omnetpp")
+    assert data[10]["overhead_pct"] > data[2]["overhead_pct"] - 1.0
+    assert data[2]["guess_probability"] == pytest.approx(1 / 3)
+    assert "BTRAs" in render_btra_sweep(data)
+
+
+def test_btdp_sweep_small():
+    data = experiment_btdp_sweep(maxima=(0, 5), stack_samples=3)
+    assert data[0]["benign_fraction"] == 1.0
+    assert data[5]["benign_fraction"] < 1.0
+    assert data[5]["overhead_pct"] > data[0]["overhead_pct"]
+    assert "H/(H+B)" in render_btdp_sweep(data)
+
+
+def test_opt_levels_small():
+    data = experiment_opt_levels(redundancies=(0, 25))
+    assert data["redundancy=25"]["O1"] > data["redundancy=25"]["O0"]
+    assert "-O0" in render_opt_levels(data)
+
+
+def test_decomposition_sums_to_added_cycles():
+    data = experiment_overhead_decomposition(benchmark="xz")
+    shares = [v for k, v in data.items() if k != "total_overhead_pct"]
+    assert sum(shares) == pytest.approx(100.0, abs=0.5)
+    assert data["total_overhead_pct"] > 0
+    assert "decomposition" in render_decomposition(data).lower()
+
+
+def test_decomposition_tags_are_diversification_tags():
+    data = experiment_overhead_decomposition(benchmark="xz")
+    known_prefixes = (
+        "btra",
+        "btdp",
+        "nop-insertion",
+        "prolog-trap",
+        "oia",
+        "align-pad",
+        "(untagged",
+        "total_overhead_pct",
+        "booby-trap",
+    )
+    for tag in data:
+        assert tag.startswith(known_prefixes), tag

@@ -1,0 +1,108 @@
+"""Tests for the workload programs: correctness under every configuration."""
+
+import pytest
+
+from repro.core.config import R2CConfig
+from repro.toolchain.interp import interpret_module
+from repro.workloads.browser import generate_browser_corpus
+from repro.workloads.spec import SPEC_BENCHMARKS, SPEC_FOOTPRINT_PAGES, build_spec_benchmark
+from repro.workloads.victim import ATTACK_ARG, SUCCESS_TAG, build_victim
+from repro.workloads.webserver import SERVERS, build_webserver
+from tests.conftest import assert_equivalent, run_compiled
+
+
+def test_spec_suite_is_complete():
+    paper_order = [
+        "perlbench", "gcc", "mcf", "lbm", "omnetpp", "xalancbmk",
+        "x264", "deepsjeng", "imagick", "leela", "nab", "xz",
+    ]
+    assert list(SPEC_BENCHMARKS) == paper_order
+    assert set(SPEC_FOOTPRINT_PAGES) == set(SPEC_BENCHMARKS)
+
+
+@pytest.mark.parametrize("name", sorted(SPEC_BENCHMARKS))
+def test_spec_benchmark_correct_under_full_r2c(name):
+    module = build_spec_benchmark(name)
+    assert_equivalent(module, R2CConfig.full(seed=17))
+
+
+def test_spec_scale_parameter_scales_work():
+    small, _ = run_compiled(build_spec_benchmark("xz", 1))
+    large, _ = run_compiled(build_spec_benchmark("xz", 2))
+    assert large.instructions > 1.5 * small.instructions
+
+
+def test_spec_footprint_increases_rss():
+    _, slim = run_compiled(build_spec_benchmark("xz", 1))
+    _, fat = run_compiled(build_spec_benchmark("xz", 1, footprint_pages=100))
+    assert fat.max_rss >= slim.max_rss + 90 * 4096
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        build_spec_benchmark("nginx")
+
+
+def test_call_frequency_ordering_matches_paper_extremes():
+    """Table 2's anchors: nab has the most calls, lbm by far the fewest."""
+    counts = {}
+    for name in ("nab", "mcf", "omnetpp", "lbm", "xz"):
+        result, _ = run_compiled(build_spec_benchmark(name))
+        counts[name] = result.calls
+    assert counts["nab"] == max(counts.values())
+    assert counts["lbm"] == min(counts.values())
+    assert counts["mcf"] > counts["xz"]
+
+
+@pytest.mark.parametrize("server", SERVERS)
+def test_webserver_correct_under_full_r2c(server):
+    module = build_webserver(server, requests=40)
+    assert_equivalent(module, R2CConfig.full(seed=23))
+
+
+def test_webserver_rejects_unknown_server():
+    with pytest.raises(ValueError):
+        build_webserver("caddy")
+
+
+def test_victim_runs_benign_by_default():
+    module = build_victim(requests=3)
+    exit_code, output = interpret_module(module)
+    assert exit_code == 0
+    # target_exec never runs legitimately.
+    assert not any(w & 0xFFFF_0000 == SUCCESS_TAG for w in output)
+    assert_equivalent(module, R2CConfig.full(seed=29))
+
+
+def test_victim_has_aocr_preconditions():
+    module = build_victim()
+    names = {g.name for g in module.globals}
+    assert {"handler_ptr", "default_param", "admin_table", "config_blob"} <= names
+    assert "target_exec" in module.functions
+    assert ATTACK_ARG <= 0xFFFF
+
+
+def test_browser_corpus_scales_and_verifies():
+    small = generate_browser_corpus(50, seed=3)
+    large = generate_browser_corpus(150, seed=3)
+    assert len(large.functions) > len(small.functions)
+    assert_equivalent(small, R2CConfig.full(seed=31))
+
+
+def test_browser_corpus_deterministic_per_seed():
+    a = generate_browser_corpus(60, seed=9)
+    b = generate_browser_corpus(60, seed=9)
+    assert interpret_module(a) == interpret_module(b)
+    c = generate_browser_corpus(60, seed=10)
+    assert interpret_module(a) != interpret_module(c)
+
+
+def test_browser_corpus_minimum_size():
+    with pytest.raises(ValueError):
+        generate_browser_corpus(5)
+
+
+def test_browser_corpus_has_wide_and_indirect_calls():
+    module = generate_browser_corpus(200, seed=1)
+    assert any(len(fn.params) > 6 for fn in module.functions.values())
+    assert any(g.name == "btable" for g in module.globals)
