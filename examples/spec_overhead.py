@@ -5,12 +5,13 @@ Compiles each synthetic SPEC benchmark with and without full protection
 (fresh diversification seed per run, as in the paper) and prints the
 overhead per benchmark on two machine models.
 
-Run:  python examples/spec_overhead.py  [benchmark ...]
+Run:  python examples/spec_overhead.py  [--jobs N] [benchmark ...]
 """
 
 import sys
 
 from repro.core.config import R2CConfig
+from repro.eval.engine import ExperimentEngine, set_session_engine
 from repro.eval.harness import measure_config
 from repro.eval.stats import geomean
 from repro.workloads.spec import SPEC_BENCHMARKS, build_spec_benchmark
@@ -21,19 +22,26 @@ MACHINES = ["epyc-rome", "xeon"]
 
 def main():
     print(__doc__)
-    names = sys.argv[1:] or DEFAULT_SUBSET
+    args = sys.argv[1:]
+    jobs = 1
+    if "--jobs" in args:
+        at = args.index("--jobs")
+        jobs = int(args[at + 1])
+        del args[at : at + 2]
+    names = args or DEFAULT_SUBSET
     unknown = [n for n in names if n not in SPEC_BENCHMARKS]
     if unknown:
         raise SystemExit(f"unknown benchmarks: {unknown}; pick from {list(SPEC_BENCHMARKS)}")
 
+    engine = set_session_engine(ExperimentEngine(jobs=jobs))
+    modules = {name: build_spec_benchmark(name) for name in names}
     print(f"{'benchmark':12s}" + "".join(f"{m:>12s}" for m in MACHINES))
     ratios = {m: [] for m in MACHINES}
     for name in names:
         row = f"{name:12s}"
         for machine in MACHINES:
-            source = lambda n=name: build_spec_benchmark(n)
-            baseline = measure_config(source, R2CConfig.baseline(), machine=machine, seeds=(1,))
-            protected = measure_config(source, R2CConfig.full(), machine=machine, seeds=(1, 2))
+            baseline = measure_config(modules[name], R2CConfig.baseline(), machine=machine, seeds=(1,))
+            protected = measure_config(modules[name], R2CConfig.full(), machine=machine, seeds=(1, 2))
             ratio = protected / baseline
             ratios[machine].append(ratio)
             row += f"{100 * (ratio - 1):11.1f}%"
@@ -41,6 +49,7 @@ def main():
     print(f"{'geomean':12s}" + "".join(
         f"{100 * (geomean(ratios[m]) - 1):11.1f}%" for m in MACHINES
     ))
+    engine.close()
 
 
 if __name__ == "__main__":

@@ -4,13 +4,16 @@ Usage::
 
     python -m repro list                 # what can be regenerated
     python -m repro table1 [--quick]     # Table 1 component overheads
-    python -m repro figure6 [--quick]    # Figure 6 per-machine overheads
+    python -m repro figure6 --jobs 4     # fan runs out over 4 processes
     python -m repro table2 table3 ...    # any subset, in order
-    python -m repro all --quick          # everything, reduced inputs
+    python -m repro all --quick --jobs 4 # everything, reduced inputs
 
 ``--quick`` shrinks benchmark subsets and seed counts so a full pass
 finishes in a couple of minutes; omit it for the benchmark-suite-sized
-runs (identical to ``pytest benchmarks/``).
+runs (identical to ``pytest benchmarks/``).  ``--jobs N`` runs
+independent (benchmark × machine × config × seed) cells on N worker
+processes; results are identical to the serial path.  ``--records-out
+PATH`` appends one JSONL record per executed run for offline analysis.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import sys
 import time
 
 from repro.eval import experiments, report
+from repro.eval.engine import ExperimentEngine, set_session_engine
 
 QUICK_BENCHMARKS = ["perlbench", "mcf", "lbm", "omnetpp", "xalancbmk", "xz"]
 
@@ -77,6 +81,31 @@ def run_security(quick: bool) -> str:
     return report.render_security_probabilities(data)
 
 
+def run_sweeps(quick: bool) -> str:
+    btra = experiments.experiment_btra_sweep(
+        counts=(2, 10) if quick else (2, 5, 10, 15, 20)
+    )
+    btdp = experiments.experiment_btdp_sweep(
+        maxima=(0, 5) if quick else (0, 2, 5, 8),
+        stack_samples=3 if quick else 8,
+    )
+    return report.render_btra_sweep(btra) + "\n\n" + report.render_btdp_sweep(btdp)
+
+
+def run_optlevels(quick: bool) -> str:
+    data = experiments.experiment_opt_levels(
+        redundancies=(0, 25) if quick else (0, 10, 25)
+    )
+    return report.render_opt_levels(data)
+
+
+def run_decomposition(quick: bool) -> str:
+    data = experiments.experiment_overhead_decomposition(
+        benchmark="xz" if quick else "omnetpp"
+    )
+    return report.render_decomposition(data)
+
+
 EXPERIMENTS = {
     "table1": (run_table1, "Table 1: component overheads"),
     "table2": (run_table2, "Table 2: call frequencies"),
@@ -86,6 +115,9 @@ EXPERIMENTS = {
     "scalability": (run_scalability, "Section 6.3: browser-scale compilation"),
     "table3": (run_table3, "Table 3: attacks vs defenses"),
     "security": (run_security, "Sections 7.2.1/7.2.3: guessing probabilities"),
+    "sweeps": (run_sweeps, "Parameter sweeps: BTRA count / BTDP density"),
+    "optlevels": (run_optlevels, "Overhead by optimization level"),
+    "decomposition": (run_decomposition, "Overhead decomposition by instruction tag"),
 }
 
 
@@ -102,25 +134,53 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="reduced inputs (~minutes, not tens of minutes)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent runs (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--records-out",
+        default=None,
+        metavar="PATH",
+        help="append per-run JSONL records to PATH",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
         for name, (_, title) in EXPERIMENTS.items():
-            print(f"  {name:12s} {title}")
+            print(f"  {name:13s} {title}")
         return 0
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s) {unknown}; try 'list'")
+    if args.records_out:
+        # Fail before hours of experiments, not after.
+        try:
+            open(args.records_out, "a", encoding="utf-8").close()
+        except OSError as error:
+            parser.error(f"--records-out {args.records_out}: {error}")
 
-    for name in names:
-        fn, title = EXPERIMENTS[name]
-        print(f"=== {title} ===")
-        started = time.perf_counter()
-        print(fn(args.quick))
-        print(f"[{time.perf_counter() - started:.1f}s]")
-        print()
+    engine = set_session_engine(ExperimentEngine(jobs=args.jobs))
+    try:
+        for name in names:
+            fn, title = EXPERIMENTS[name]
+            print(f"=== {title} ===")
+            started = time.perf_counter()
+            print(fn(args.quick))
+            print(f"[{time.perf_counter() - started:.1f}s]")
+            print()
+        if engine.records:
+            print(report.render_engine_summary(engine.summary()))
+        if args.records_out:
+            count = engine.write_records(args.records_out)
+            print(f"[{count} run records -> {args.records_out}]")
+    finally:
+        engine.close()
     return 0
 
 

@@ -45,6 +45,11 @@ class R2CCompiler:
             binary.constructors.append(make_btdp_constructor(self.config))
         binary.metadata["config"] = self.config
         binary.metadata["r2c_disabled_functions"] = sorted(disabled)
+        # Cache identity: fingerprint of the *source* module (not the
+        # diversified working copy) plus the config digest.  Together they
+        # content-address this binary for repro.eval.engine's compile cache.
+        binary.metadata["module_fingerprint"] = module.fingerprint()
+        binary.metadata["config_digest"] = self.config.digest()
         return binary
 
     def with_seed(self, seed: int) -> "R2CCompiler":

@@ -18,6 +18,7 @@ The named constructors mirror the configurations of the evaluation:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -110,6 +111,15 @@ class R2CConfig:
 
     def replace(self, **changes) -> "R2CConfig":
         return dataclasses.replace(self, **changes)
+
+    def digest(self) -> str:
+        """Short stable hash over every knob (including the seed).
+
+        The config half of the compile-cache key in
+        :mod:`repro.eval.engine`: two configs share a digest iff every
+        field — and therefore the diversified output — is identical.
+        """
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()[:16]
 
     @property
     def oia_in_force(self) -> bool:

@@ -1,0 +1,524 @@
+"""The experiment-execution engine: cached, parallel compile/load/run.
+
+The paper's methodology (Section 6.2) multiplies out to thousands of
+(benchmark × machine × config × seed) cells, each one "recompile with a
+fresh seed, load, run, collect metrics".  Every experiment driver used to
+hand-roll that loop serially — recompiling even the unchanged baseline for
+every overhead measurement.  This module centralizes the loop:
+
+* :class:`RunRequest` / :class:`RunRecord` — typed request/result pairs.
+  A request is fully keyed by (module fingerprint, config digest, machine,
+  load seed, budget, heap size); because the simulator is deterministic,
+  that key *determines* the record.
+* :class:`CompileCache` — content-addressed: a given (module, config) is
+  compiled exactly once per session, however many drivers ask for it.
+* Executors — a serial in-process path and a ``ProcessPoolExecutor``
+  fan-out (``jobs > 1``) over independent cells, with deterministic result
+  ordering regardless of completion order.  Requests sharing a compile key
+  are grouped onto one worker so no binary is built twice in one batch.
+* Observability — every executed run yields a :class:`RunRecord` (JSONL-
+  serializable, with wall/compile-time split out from the deterministic
+  payload) and the engine aggregates an :class:`EngineSummary` (cache
+  hits, compile counts, worker utilization) rendered by
+  :mod:`repro.eval.report`.
+
+Identical requests are also deduplicated at the *run* level: the engine
+memoizes records by run key, so e.g. the baseline run of a (benchmark,
+machine) pair is executed once per session no matter how many overhead
+measurements reference it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.compiler import compile_module
+from repro.core.config import R2CConfig
+from repro.machine.costs import get_costs
+from repro.machine.cpu import CPU
+from repro.machine.loader import load_binary
+from repro.toolchain.binary import Binary
+from repro.toolchain.ir import Module
+
+ModuleSource = Union[Module, Callable[[], Module]]
+
+#: (module fingerprint, config digest) — identifies one compilation.
+CompileKey = Tuple[str, str]
+#: Compile key + (machine, load seed, budget, heap size, attribute_tags)
+#: — identifies one deterministic run.
+RunKey = Tuple[str, str, str, int, int, int, bool]
+
+DEFAULT_INSTRUCTION_BUDGET = 50_000_000
+DEFAULT_HEAP_SIZE = 8 * 1024 * 1024
+
+
+@dataclass
+class RunStats:
+    """Metrics from one run (the classic harness-facing subset)."""
+
+    cycles: float
+    instructions: int
+    calls: int
+    max_rss: int
+    icache_misses: int
+    exit_code: int
+    output: Tuple[int, ...]
+
+
+@dataclass
+class RunRequest:
+    """One cell of an experiment: run ``module`` under ``config``.
+
+    ``label`` is free-form provenance (e.g. ``"figure6/full/mcf"``) carried
+    into the record; it does not participate in any cache key.
+    """
+
+    module: Module
+    config: R2CConfig
+    machine: str = "epyc-rome"
+    load_seed: int = 1
+    instruction_budget: int = DEFAULT_INSTRUCTION_BUDGET
+    heap_size: int = DEFAULT_HEAP_SIZE
+    attribute_tags: bool = False
+    label: str = ""
+
+    @property
+    def compile_key(self) -> CompileKey:
+        return (self.module.fingerprint(), self.config.digest())
+
+    @property
+    def run_key(self) -> RunKey:
+        fingerprint, digest = self.compile_key
+        return (
+            fingerprint,
+            digest,
+            self.machine,
+            self.load_seed,
+            self.instruction_budget,
+            self.heap_size,
+            self.attribute_tags,
+        )
+
+
+#: RunRecord fields that depend on the execution environment, not the
+#: (deterministic) request — excluded from canonical comparisons.
+ENVIRONMENT_FIELDS = ("compile_seconds", "run_seconds", "cache_hit", "worker")
+
+
+@dataclass
+class RunRecord:
+    """The full, JSONL-serializable result of one executed request."""
+
+    label: str
+    module_fingerprint: str
+    config_digest: str
+    machine: str
+    seed: int
+    load_seed: int
+    instruction_budget: int
+    heap_size: int
+    cycles: float
+    instructions: int
+    calls: int
+    max_rss: int
+    icache_misses: int
+    exit_code: int
+    output: Tuple[int, ...]
+    text_bytes: int
+    instruction_count: int
+    tag_cycles: Optional[Dict[str, float]] = None
+    compile_seconds: float = 0.0
+    run_seconds: float = 0.0
+    cache_hit: bool = False
+    worker: int = 0
+
+    def canonical(self) -> Dict[str, object]:
+        """The deterministic payload: everything except timing/worker."""
+        data = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ENVIRONMENT_FIELDS
+        }
+        data["output"] = list(self.output)
+        return data
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True)
+
+    def to_json(self) -> str:
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["output"] = list(self.output)
+        return json.dumps(data, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        data = json.loads(line)
+        data["output"] = tuple(data["output"])
+        return cls(**data)
+
+    def stats(self) -> RunStats:
+        return RunStats(
+            cycles=self.cycles,
+            instructions=self.instructions,
+            calls=self.calls,
+            max_rss=self.max_rss,
+            icache_misses=self.icache_misses,
+            exit_code=self.exit_code,
+            output=self.output,
+        )
+
+
+def write_records(records: Iterable[RunRecord], path: str) -> int:
+    """Append ``records`` to ``path`` as JSON Lines; returns the count."""
+    count = 0
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(record.to_json() + "\n")
+            count += 1
+    return count
+
+
+def read_records(path: str) -> List[RunRecord]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return [RunRecord.from_json(line) for line in handle if line.strip()]
+
+
+class CompileCache:
+    """Content-addressed (module fingerprint, config digest) -> Binary."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[CompileKey, Binary] = {}
+        self.hits = 0
+        self.misses = 0
+        self.compile_seconds = 0.0
+        #: How many times each key was actually compiled (always 1 per key
+        #: in a given process — the session-level compile counter).
+        self.compile_counts: Dict[CompileKey, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compile(self, module: Module, config: R2CConfig) -> Tuple[Binary, float, bool]:
+        """Return (binary, compile_seconds, was_cache_hit)."""
+        key = (module.fingerprint(), config.digest())
+        binary = self._entries.get(key)
+        if binary is not None:
+            self.hits += 1
+            return binary, 0.0, True
+        started = time.perf_counter()
+        binary = compile_module(module, config)
+        elapsed = time.perf_counter() - started
+        self._entries[key] = binary
+        self.misses += 1
+        self.compile_seconds += elapsed
+        self.compile_counts[key] = self.compile_counts.get(key, 0) + 1
+        return binary, elapsed, False
+
+
+def _execute_request(cache: CompileCache, request: RunRequest) -> RunRecord:
+    """Compile (through ``cache``), load, run; collect the full record."""
+    binary, compile_seconds, cache_hit = cache.get_or_compile(
+        request.module, request.config
+    )
+    started = time.perf_counter()
+    process = load_binary(binary, seed=request.load_seed, heap_size=request.heap_size)
+    process.register_service("attack_hook", lambda proc, cpu: 0)
+    cpu = CPU(
+        process,
+        get_costs(request.machine),
+        instruction_budget=request.instruction_budget,
+        attribute_tags=request.attribute_tags,
+    )
+    result = cpu.run()
+    process.note_resident()
+    run_seconds = time.perf_counter() - started
+    fingerprint, digest = request.compile_key
+    return RunRecord(
+        label=request.label,
+        module_fingerprint=fingerprint,
+        config_digest=digest,
+        machine=request.machine,
+        seed=request.config.seed,
+        load_seed=request.load_seed,
+        instruction_budget=request.instruction_budget,
+        heap_size=request.heap_size,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        calls=result.calls,
+        max_rss=process.max_rss,
+        icache_misses=result.icache_misses,
+        exit_code=result.exit_code,
+        output=tuple(result.output),
+        text_bytes=binary.text_size,
+        instruction_count=binary.instruction_count(),
+        tag_cycles=dict(result.tag_cycles) if request.attribute_tags else None,
+        compile_seconds=compile_seconds,
+        run_seconds=run_seconds,
+        cache_hit=cache_hit,
+        worker=os.getpid(),
+    )
+
+
+#: Per-worker-process compile cache (workers are long-lived, so binaries
+#: built for one batch are reused by later batches dispatched to them).
+_WORKER_CACHE: Optional[CompileCache] = None
+
+
+def _worker_execute_group(group: List[Tuple[int, RunRequest]]) -> List[Tuple[int, RunRecord]]:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = CompileCache()
+    return [(index, _execute_request(_WORKER_CACHE, request)) for index, request in group]
+
+
+@dataclass
+class EngineSummary:
+    """Session-level engine counters, rendered by ``report.render_engine_summary``."""
+
+    jobs: int
+    batches: int
+    requested: int
+    executed: int
+    run_cache_hits: int
+    compile_cache_hits: int
+    compiles: int
+    distinct_binaries: int
+    compile_seconds: float
+    run_seconds: float
+    worker_runs: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def workers(self) -> int:
+        return len(self.worker_runs)
+
+
+class ExperimentEngine:
+    """Executes batches of :class:`RunRequest` with caching and fan-out.
+
+    ``jobs == 1`` runs everything in-process; ``jobs > 1`` fans
+    independent cells out over a persistent ``ProcessPoolExecutor``.
+    Results always come back in request order.
+    """
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = max(1, int(jobs))
+        self.cache = CompileCache()
+        self.records: List[RunRecord] = []
+        self._run_cache: Dict[RunKey, RunRecord] = {}
+        self._run_cache_hits = 0
+        self._requested = 0
+        self._batches = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._sources: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- sources ------------------------------------------------------------
+
+    def materialize(self, source: ModuleSource) -> Module:
+        """Resolve a module-or-builder to a module, invoking builders once.
+
+        Builder callables are memoized (weakly, per callable object) so a
+        builder reused across seeds/configs is materialized exactly once.
+        """
+        if isinstance(source, Module) or not callable(source):
+            return source
+        try:
+            cached = self._sources.get(source)
+        except TypeError:  # unhashable/unweakrefable callable
+            return source()
+        if cached is None:
+            cached = source()
+            self._sources[source] = cached
+        return cached
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, request: RunRequest) -> RunRecord:
+        return self.submit([request])[0]
+
+    def submit(self, requests: Sequence[RunRequest]) -> List[RunRecord]:
+        """Execute a batch; returns records in request order.
+
+        Requests whose run key was already executed this session (or that
+        appear more than once in the batch) are served from the run cache.
+        """
+        self._batches += 1
+        self._requested += len(requests)
+        results: List[Optional[RunRecord]] = [None] * len(requests)
+        pending: Dict[RunKey, List[int]] = {}
+        order: List[RunKey] = []
+        for position, request in enumerate(requests):
+            key = request.run_key
+            cached = self._run_cache.get(key)
+            if cached is not None:
+                self._run_cache_hits += 1
+                results[position] = cached
+            else:
+                if key not in pending:
+                    order.append(key)
+                pending.setdefault(key, []).append(position)
+        # Duplicates inside the batch count as run-cache hits too.
+        self._run_cache_hits += sum(len(p) - 1 for p in pending.values())
+
+        unique = [(key, requests[pending[key][0]]) for key in order]
+        if self.jobs == 1 or len(unique) <= 1:
+            executed = [
+                (key, _execute_request(self.cache, request)) for key, request in unique
+            ]
+        else:
+            executed = self._submit_parallel(unique)
+
+        for key, record in executed:
+            self._run_cache[key] = record
+            self.records.append(record)
+            for position in pending[key]:
+                results[position] = record
+        assert all(record is not None for record in results)
+        return results  # type: ignore[return-value]
+
+    def _submit_parallel(
+        self, unique: List[Tuple[RunKey, RunRequest]]
+    ) -> List[Tuple[RunKey, RunRecord]]:
+        """Fan unique requests out to worker processes.
+
+        Requests sharing a compile key form one work item, so each binary
+        is compiled at most once per batch, by the worker that runs it.
+        """
+        groups: Dict[CompileKey, List[Tuple[int, RunRequest]]] = {}
+        for index, (_, request) in enumerate(unique):
+            groups.setdefault(request.compile_key, []).append((index, request))
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        futures = [
+            self._pool.submit(_worker_execute_group, group)
+            for group in groups.values()
+        ]
+        indexed: List[Tuple[int, RunRecord]] = []
+        for future in futures:
+            indexed.extend(future.result())
+        indexed.sort(key=lambda pair: pair[0])
+        return [(unique[index][0], record) for index, record in indexed]
+
+    # -- observability ------------------------------------------------------
+
+    def write_records(self, path: str) -> int:
+        """Write every record executed so far to ``path`` as JSONL."""
+        return write_records(self.records, path)
+
+    def compile_count(self, module: Module, config: R2CConfig) -> int:
+        """How many times this exact (module, config) was compiled in-process."""
+        return self.cache.compile_counts.get(
+            (module.fingerprint(), config.digest()), 0
+        )
+
+    def summary(self) -> EngineSummary:
+        worker_runs: Dict[int, int] = {}
+        compile_hits = 0
+        compiles = 0
+        compile_seconds = 0.0
+        run_seconds = 0.0
+        for record in self.records:
+            worker_runs[record.worker] = worker_runs.get(record.worker, 0) + 1
+            if record.cache_hit:
+                compile_hits += 1
+            else:
+                compiles += 1
+            compile_seconds += record.compile_seconds
+            run_seconds += record.run_seconds
+        return EngineSummary(
+            jobs=self.jobs,
+            batches=self._batches,
+            requested=self._requested,
+            executed=len(self.records),
+            run_cache_hits=self._run_cache_hits,
+            compile_cache_hits=compile_hits,
+            compiles=compiles,
+            distinct_binaries=len(self.cache) if self.jobs == 1 else compiles,
+            compile_seconds=compile_seconds,
+            run_seconds=run_seconds,
+            worker_runs=worker_runs,
+        )
+
+
+class RequestBatch:
+    """Build a keyed batch, submit once, read results back by key.
+
+    The drivers' idiom::
+
+        batch = RequestBatch(engine)
+        batch.add(("full", name, seed), RunRequest(...))
+        results = batch.run()
+        results.median(("full", name, seed), "cycles")
+    """
+
+    def __init__(self, engine: ExperimentEngine):
+        self.engine = engine
+        self.requests: List[RunRequest] = []
+        self._slots: Dict[object, List[int]] = {}
+
+    def add(self, key: object, request: RunRequest) -> None:
+        self._slots.setdefault(key, []).append(len(self.requests))
+        self.requests.append(request)
+
+    def run(self) -> "BatchResults":
+        return BatchResults(self.engine.submit(self.requests), self._slots)
+
+
+class BatchResults:
+    def __init__(self, records: List[RunRecord], slots: Dict[object, List[int]]):
+        self._records = records
+        self._slots = slots
+
+    def records(self, key: object) -> List[RunRecord]:
+        return [self._records[position] for position in self._slots[key]]
+
+    def record(self, key: object) -> RunRecord:
+        positions = self._slots[key]
+        if len(positions) != 1:
+            raise KeyError(f"{key!r} has {len(positions)} records, expected 1")
+        return self._records[positions[0]]
+
+    def median(self, key: object, metric: str = "cycles") -> float:
+        from repro.eval.stats import median
+
+        return median([getattr(record, metric) for record in self.records(key)])
+
+
+# ---------------------------------------------------------------------------
+# The session engine: one shared cache/pool per process by default.
+# ---------------------------------------------------------------------------
+
+_SESSION_ENGINE: Optional[ExperimentEngine] = None
+
+
+def get_session_engine() -> ExperimentEngine:
+    """The process-wide default engine (serial unless reconfigured)."""
+    global _SESSION_ENGINE
+    if _SESSION_ENGINE is None:
+        _SESSION_ENGINE = ExperimentEngine(jobs=1)
+    return _SESSION_ENGINE
+
+
+def set_session_engine(engine: ExperimentEngine) -> ExperimentEngine:
+    """Install ``engine`` as the process-wide default; returns it."""
+    global _SESSION_ENGINE
+    _SESSION_ENGINE = engine
+    return engine

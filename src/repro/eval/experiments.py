@@ -19,20 +19,32 @@ Index (see DESIGN.md section 4):
 
 Every driver returns plain data structures; :mod:`repro.eval.report`
 renders them in the paper's table shapes.
+
+The compile/run-shaped drivers do no execution of their own: they build
+one keyed :class:`~repro.eval.engine.RequestBatch` spanning every
+(benchmark × machine × config × seed) cell and submit it to the
+:class:`~repro.eval.engine.ExperimentEngine` (serial by default,
+process-pool parallel under ``--jobs N``), then read results back by
+key.  Baselines are ordinary cells — the engine's caches, not driver
+code, guarantee each one is compiled and run once per session.  The
+attack-shaped drivers (Table 3, §7.2) drive victim sessions instead.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks import ALL_ATTACKS
 from repro.attacks.clustering import cluster_pointers
 from repro.attacks.scenario import VictimSession
 from repro.core.config import R2CConfig
-from repro.core.compiler import compile_module
 from repro.defenses.related import DEFENSE_MODELS
-from repro.eval.harness import measure_config, run_module
+from repro.eval.engine import (
+    ExperimentEngine,
+    RequestBatch,
+    RunRequest,
+    get_session_engine,
+)
 from repro.eval.stats import geomean, median, overhead_percent
 from repro.machine.costs import MACHINE_PRESETS
 from repro.rng import DiversityRng
@@ -58,6 +70,10 @@ def _benchmarks(subset: Optional[Sequence[str]]) -> List[str]:
     return list(subset) if subset else list(SPEC_BENCHMARKS)
 
 
+def _engine(engine: Optional[ExperimentEngine]) -> ExperimentEngine:
+    return engine if engine is not None else get_session_engine()
+
+
 # ---------------------------------------------------------------------------
 # Table 1: component overheads
 # ---------------------------------------------------------------------------
@@ -69,33 +85,51 @@ def experiment_table1(
     machine: str = "epyc-rome",
     benchmarks: Optional[Sequence[str]] = None,
     components: Optional[Sequence[str]] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Per-component overhead ratios across the SPEC suite.
 
     Returns {component: {"per_benchmark": {name: ratio}, "max": r, "geomean": r}}.
     """
+    engine = _engine(engine)
     names = _benchmarks(benchmarks)
-    rows: Dict[str, Dict[str, object]] = {}
-    baselines = {
-        name: measure_config(
-            lambda n=name: build_spec_benchmark(n, scale),
-            R2CConfig.baseline(),
-            machine=machine,
-            seeds=seeds[:1],
-        )
-        for name in names
-    }
-    for label in components or COMPONENT_CONFIGS:
-        factory = COMPONENT_CONFIGS[label]
-        ratios = {}
-        for name in names:
-            protected = measure_config(
-                lambda n=name: build_spec_benchmark(n, scale),
-                factory(0),
+    labels = list(components) if components else list(COMPONENT_CONFIGS)
+    modules = {name: build_spec_benchmark(name, scale) for name in names}
+
+    batch = RequestBatch(engine)
+    for name in names:
+        batch.add(
+            ("baseline", name),
+            RunRequest(
+                module=modules[name],
+                config=R2CConfig.baseline().replace(seed=seeds[0]),
                 machine=machine,
-                seeds=seeds,
-            )
-            ratios[name] = protected / baselines[name]
+                load_seed=seeds[0],
+                label=f"table1/baseline/{name}",
+            ),
+        )
+    for label in labels:
+        config = COMPONENT_CONFIGS[label](0)
+        for name in names:
+            for seed in seeds:
+                batch.add(
+                    (label, name),
+                    RunRequest(
+                        module=modules[name],
+                        config=config.replace(seed=seed),
+                        machine=machine,
+                        load_seed=seed,
+                        label=f"table1/{label}/{name}",
+                    ),
+                )
+    results = batch.run()
+
+    rows: Dict[str, Dict[str, object]] = {}
+    baselines = {name: results.median(("baseline", name)) for name in names}
+    for label in labels:
+        ratios = {
+            name: results.median((label, name)) / baselines[name] for name in names
+        }
         rows[label] = {
             "per_benchmark": ratios,
             "max": max(ratios.values()),
@@ -109,7 +143,10 @@ def experiment_table1(
 # ---------------------------------------------------------------------------
 
 def experiment_table2(
-    *, inputs: Sequence[int] = (1, 2, 3), benchmarks: Optional[Sequence[str]] = None
+    *,
+    inputs: Sequence[int] = (1, 2, 3),
+    benchmarks: Optional[Sequence[str]] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, int]:
     """Median executed-call counts per benchmark across input scales.
 
@@ -119,14 +156,21 @@ def experiment_table2(
     inputs").  Our ``call`` counter, like theirs, excludes tail calls by
     construction (the codegen never emits them).
     """
-    counts: Dict[str, int] = {}
-    for name in _benchmarks(benchmarks):
-        per_input = []
+    engine = _engine(engine)
+    names = _benchmarks(benchmarks)
+    batch = RequestBatch(engine)
+    for name in names:
         for scale in inputs:
-            stats = run_module(build_spec_benchmark(name, scale), R2CConfig.baseline())
-            per_input.append(stats.calls)
-        counts[name] = int(median(per_input))
-    return counts
+            batch.add(
+                name,
+                RunRequest(
+                    module=build_spec_benchmark(name, scale),
+                    config=R2CConfig.baseline(),
+                    label=f"table2/{name}/scale{scale}",
+                ),
+            )
+    results = batch.run()
+    return {name: int(results.median(name, "calls")) for name in names}
 
 
 # ---------------------------------------------------------------------------
@@ -139,25 +183,49 @@ def experiment_figure6(
     seeds: Sequence[int] = DEFAULT_SEEDS,
     machines: Optional[Sequence[str]] = None,
     benchmarks: Optional[Sequence[str]] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Full-protection overhead (%) per benchmark per machine, plus the
     per-machine geomean under key ``"geomean"``."""
+    engine = _engine(engine)
     machine_names = list(machines) if machines else list(MACHINE_PRESETS)
     names = _benchmarks(benchmarks)
+    modules = {name: build_spec_benchmark(name, scale) for name in names}
+
+    batch = RequestBatch(engine)
+    for machine in machine_names:
+        for name in names:
+            batch.add(
+                ("baseline", machine, name),
+                RunRequest(
+                    module=modules[name],
+                    config=R2CConfig.baseline().replace(seed=seeds[0]),
+                    machine=machine,
+                    load_seed=seeds[0],
+                    label=f"figure6/baseline/{machine}/{name}",
+                ),
+            )
+            for seed in seeds:
+                batch.add(
+                    ("full", machine, name),
+                    RunRequest(
+                        module=modules[name],
+                        config=R2CConfig.full().replace(seed=seed),
+                        machine=machine,
+                        load_seed=seed,
+                        label=f"figure6/full/{machine}/{name}",
+                    ),
+                )
+    results = batch.run()
+
     result: Dict[str, Dict[str, float]] = {name: {} for name in names}
     per_machine_ratios: Dict[str, List[float]] = {m: [] for m in machine_names}
     for machine in machine_names:
         for name in names:
-            source = lambda n=name: build_spec_benchmark(n, scale)
-            baseline = measure_config(
-                source, R2CConfig.baseline(), machine=machine, seeds=seeds[:1]
-            )
-            protected = measure_config(
-                source, R2CConfig.full(), machine=machine, seeds=seeds
-            )
-            ratio = protected / baseline
+            baseline = results.median(("baseline", machine, name))
+            protected = results.median(("full", machine, name))
             result[name][machine] = overhead_percent(protected, baseline)
-            per_machine_ratios[machine].append(ratio)
+            per_machine_ratios[machine].append(protected / baseline)
     result["geomean"] = {
         machine: 100.0 * (geomean(ratios) - 1.0)
         for machine, ratios in per_machine_ratios.items()
@@ -174,24 +242,49 @@ def experiment_webserver(
     requests: int = 150,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     machines: Optional[Sequence[str]] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Throughput decrease (%) per server per machine.
 
     Throughput = requests/cycle, so the throughput decrease equals
     1 - baseline_cycles/protected_cycles.
     """
+    engine = _engine(engine)
     machine_names = list(machines) if machines else list(MACHINE_PRESETS)
+    modules = {server: build_webserver(server, requests) for server in SERVERS}
+
+    batch = RequestBatch(engine)
+    for server in SERVERS:
+        for machine in machine_names:
+            batch.add(
+                ("baseline", server, machine),
+                RunRequest(
+                    module=modules[server],
+                    config=R2CConfig.baseline().replace(seed=seeds[0]),
+                    machine=machine,
+                    load_seed=seeds[0],
+                    label=f"webserver/baseline/{server}/{machine}",
+                ),
+            )
+            for seed in seeds:
+                batch.add(
+                    ("full", server, machine),
+                    RunRequest(
+                        module=modules[server],
+                        config=R2CConfig.full().replace(seed=seed),
+                        machine=machine,
+                        load_seed=seed,
+                        label=f"webserver/full/{server}/{machine}",
+                    ),
+                )
+    results = batch.run()
+
     result: Dict[str, Dict[str, float]] = {}
     for server in SERVERS:
         result[server] = {}
         for machine in machine_names:
-            source = lambda s=server: build_webserver(s, requests)
-            baseline = measure_config(
-                source, R2CConfig.baseline(), machine=machine, seeds=seeds[:1]
-            )
-            protected = measure_config(
-                source, R2CConfig.full(), machine=machine, seeds=seeds
-            )
+            baseline = results.median(("baseline", server, machine))
+            protected = results.median(("full", server, machine))
             result[server][machine] = 100.0 * (1.0 - baseline / protected)
     return result
 
@@ -205,33 +298,66 @@ def experiment_memory(
     scale: int = 1,
     seed: int = 1,
     benchmarks: Optional[Sequence[str]] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, object]:
     """maxrss overheads: SPEC (with realistic working sets), webservers,
     and the share of webserver overhead attributable to BTDP pages."""
-    spec: Dict[str, float] = {}
-    for name in _benchmarks(benchmarks):
-        pages = SPEC_FOOTPRINT_PAGES[name]
-        module = build_spec_benchmark(name, scale, footprint_pages=pages)
-        base = run_module(module, R2CConfig.baseline(), load_seed=seed, heap_size=32 << 20)
-        full = run_module(
-            module, R2CConfig.full(seed=seed), load_seed=seed, heap_size=32 << 20
-        )
-        spec[name] = overhead_percent(full.max_rss, base.max_rss)
+    engine = _engine(engine)
+    names = _benchmarks(benchmarks)
 
+    batch = RequestBatch(engine)
+    for name in names:
+        module = build_spec_benchmark(
+            name, scale, footprint_pages=SPEC_FOOTPRINT_PAGES[name]
+        )
+        for tag, config in (
+            ("base", R2CConfig.baseline()),
+            ("full", R2CConfig.full(seed=seed)),
+        ):
+            batch.add(
+                ("spec", tag, name),
+                RunRequest(
+                    module=module,
+                    config=config,
+                    load_seed=seed,
+                    heap_size=32 << 20,
+                    label=f"memory/spec-{tag}/{name}",
+                ),
+            )
+    for server in SERVERS:
+        module = build_webserver(server)
+        for tag, config in (
+            ("base", R2CConfig.baseline()),
+            ("full", R2CConfig.full(seed=seed)),
+            ("no_btdp", R2CConfig.full(seed=seed).replace(enable_btdp=False)),
+        ):
+            batch.add(
+                ("web", tag, server),
+                RunRequest(
+                    module=module,
+                    config=config,
+                    load_seed=seed,
+                    label=f"memory/web-{tag}/{server}",
+                ),
+            )
+    results = batch.run()
+
+    spec = {
+        name: overhead_percent(
+            results.record(("spec", "full", name)).max_rss,
+            results.record(("spec", "base", name)).max_rss,
+        )
+        for name in names
+    }
     web: Dict[str, float] = {}
     btdp_share: Dict[str, float] = {}
     for server in SERVERS:
-        module = build_webserver(server)
-        base = run_module(module, R2CConfig.baseline(), load_seed=seed)
-        full = run_module(module, R2CConfig.full(seed=seed), load_seed=seed)
-        no_btdp = run_module(
-            module,
-            R2CConfig.full(seed=seed).replace(enable_btdp=False),
-            load_seed=seed,
-        )
-        web[server] = overhead_percent(full.max_rss, base.max_rss)
-        total_extra = full.max_rss - base.max_rss
-        btdp_extra = full.max_rss - no_btdp.max_rss
+        base = results.record(("web", "base", server)).max_rss
+        full = results.record(("web", "full", server)).max_rss
+        no_btdp = results.record(("web", "no_btdp", server)).max_rss
+        web[server] = overhead_percent(full, base)
+        total_extra = full - base
+        btdp_extra = full - no_btdp
         btdp_share[server] = 100.0 * btdp_extra / total_extra if total_extra else 0.0
 
     return {"spec": spec, "webserver": web, "btdp_share": btdp_share}
@@ -242,29 +368,44 @@ def experiment_memory(
 # ---------------------------------------------------------------------------
 
 def experiment_scalability(
-    *, sizes: Sequence[int] = (200, 600, 1500), seed: int = 0
+    *,
+    sizes: Sequence[int] = (200, 600, 1500),
+    seed: int = 0,
+    engine: Optional[ExperimentEngine] = None,
 ) -> List[Dict[str, object]]:
     """Compile browser-scale corpora under full R2C; verify correctness.
 
     Reports corpus size, generated function count, compile wall time, and
     whether the diversified binary matches the reference interpreter.
     """
+    engine = _engine(engine)
+    modules = {size: generate_browser_corpus(size, seed=seed) for size in sizes}
+    expected = {size: interpret_module(modules[size]) for size in sizes}
+
+    batch = RequestBatch(engine)
+    for size in sizes:
+        batch.add(
+            size,
+            RunRequest(
+                module=modules[size],
+                config=R2CConfig.full(seed=seed),
+                load_seed=seed + 1,
+                label=f"scalability/{size}",
+            ),
+        )
+    results = batch.run()
+
     rows: List[Dict[str, object]] = []
     for size in sizes:
-        module = generate_browser_corpus(size, seed=seed)
-        expected = interpret_module(module)
-        started = time.perf_counter()
-        binary = compile_module(module, R2CConfig.full(seed=seed))
-        compile_seconds = time.perf_counter() - started
-        stats = run_module(module, R2CConfig.full(seed=seed), load_seed=seed + 1)
+        record = results.record(size)
         rows.append(
             {
                 "functions": size,
-                "instructions": binary.instruction_count(),
-                "text_bytes": binary.text_size,
-                "compile_seconds": compile_seconds,
-                "verified": (stats.exit_code, list(stats.output))
-                == (expected[0], expected[1]),
+                "instructions": record.instruction_count,
+                "text_bytes": record.text_bytes,
+                "compile_seconds": record.compile_seconds,
+                "verified": (record.exit_code, list(record.output))
+                == (expected[size][0], expected[size][1]),
             }
         )
     return rows
@@ -318,6 +459,34 @@ def btra_guess_probability(btras: int, leaks: int) -> float:
     return (1.0 / (btras + 1)) ** leaks
 
 
+def _probe_benign_heap_picks(
+    config: R2CConfig, *, load_seed: int, attacker_seed: int
+) -> Tuple[int, int]:
+    """One heap-pointer-picking trial against a freshly diversified victim.
+
+    Leaks the stack at the vulnerability, clusters the pointers, and
+    checks every heap-cluster member against the R2C runtime's ground
+    truth.  Returns (benign picks, total picks) — (0, 0) if the leak
+    surfaced no heap pointers.  Shared by the §7.2.3 measurement and the
+    BTDP density sweep.
+    """
+    session = VictimSession(config, load_seed=load_seed)
+    picked: Dict[str, List[int]] = {}
+
+    def hook(view):
+        picked["heap"] = cluster_pointers(view.leak_stack()).heap_values()
+
+    session.probe(hook, attacker_seed=attacker_seed)
+    heap_values = picked.get("heap", [])
+    if not heap_values:
+        return 0, 0
+    # Ground truth from the R2C runtime: which values are BTDPs?
+    process, _ = session.spawn()
+    btdp_values = set(process.r2c_runtime["btdp_values"])
+    benign = sum(1 for value in heap_values if value not in btdp_values)
+    return benign, len(heap_values)
+
+
 def experiment_security_probabilities(
     *,
     btras: int = 10,
@@ -349,24 +518,16 @@ def experiment_security_probabilities(
     total_picks = 0
     per_sample_ratio = []
     for index in range(stack_samples):
-        session = VictimSession(R2CConfig.full(seed=500 + index), load_seed=900 + index)
-        picked = {}
-
-        def hook(view):
-            clusters = cluster_pointers(view.leak_stack())
-            picked["heap_values"] = clusters.heap_values()
-
-        session.probe(hook, attacker_seed=index)
-        heap_values = picked.get("heap_values", [])
-        if not heap_values:
+        benign, total = _probe_benign_heap_picks(
+            R2CConfig.full(seed=500 + index),
+            load_seed=900 + index,
+            attacker_seed=index,
+        )
+        if not total:
             continue
-        # Ground truth from the R2C runtime: which values are BTDPs?
-        process, _ = session.spawn()
-        btdp_values = set(process.r2c_runtime["btdp_values"])
-        benign = sum(1 for value in heap_values if value not in btdp_values)
         benign_picks += benign
-        total_picks += len(heap_values)
-        per_sample_ratio.append(benign / len(heap_values))
+        total_picks += total
+        per_sample_ratio.append(benign / total)
 
     return {
         "btra_closed_form": closed,
@@ -385,6 +546,7 @@ def experiment_btra_sweep(
     counts: Sequence[int] = (2, 5, 10, 15, 20),
     benchmark: str = "omnetpp",
     seeds: Sequence[int] = (1,),
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Overhead vs. BTRA count per call site, with the Section 7.2.1
     guessing probability each count buys.
@@ -393,17 +555,41 @@ def experiment_btra_sweep(
     the trade-off curve behind picking 10 — and behind the Section 7.1
     AVX-512 option of doubling the count.
     """
-    source = lambda: build_spec_benchmark(benchmark)
-    baseline = measure_config(source, R2CConfig.baseline(), seeds=seeds[:1])
-    out: Dict[int, Dict[str, float]] = {}
+    engine = _engine(engine)
+    module = build_spec_benchmark(benchmark)
+
+    batch = RequestBatch(engine)
+    batch.add(
+        "baseline",
+        RunRequest(
+            module=module,
+            config=R2CConfig.baseline().replace(seed=seeds[0]),
+            load_seed=seeds[0],
+            label=f"btra-sweep/baseline/{benchmark}",
+        ),
+    )
     for count in counts:
         config = R2CConfig.btra_avx_only().replace(btras_per_callsite=count)
-        protected = measure_config(source, config, seeds=seeds)
-        out[count] = {
-            "overhead_pct": overhead_percent(protected, baseline),
+        for seed in seeds:
+            batch.add(
+                count,
+                RunRequest(
+                    module=module,
+                    config=config.replace(seed=seed),
+                    load_seed=seed,
+                    label=f"btra-sweep/{count}/{benchmark}",
+                ),
+            )
+    results = batch.run()
+
+    baseline = results.median("baseline")
+    return {
+        count: {
+            "overhead_pct": overhead_percent(results.median(count), baseline),
             "guess_probability": 1.0 / (count + 1),
         }
-    return out
+        for count in counts
+    }
 
 
 def experiment_btdp_sweep(
@@ -412,35 +598,53 @@ def experiment_btdp_sweep(
     benchmark: str = "xalancbmk",
     seeds: Sequence[int] = (1,),
     stack_samples: int = 8,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Overhead vs. BTDP density, with the measured benign heap-pointer
     fraction H/(H+B) each density buys (Section 7.2.3)."""
-    source = lambda: build_spec_benchmark(benchmark)
-    baseline = measure_config(source, R2CConfig.baseline(), seeds=seeds[:1])
-    out: Dict[int, Dict[str, float]] = {}
+    engine = _engine(engine)
+    module = build_spec_benchmark(benchmark)
+
+    batch = RequestBatch(engine)
+    batch.add(
+        "baseline",
+        RunRequest(
+            module=module,
+            config=R2CConfig.baseline().replace(seed=seeds[0]),
+            load_seed=seeds[0],
+            label=f"btdp-sweep/baseline/{benchmark}",
+        ),
+    )
     for maximum in maxima:
         config = R2CConfig.btdp_only().replace(btdp_max_per_function=maximum)
-        protected = measure_config(source, config, seeds=seeds)
+        for seed in seeds:
+            batch.add(
+                maximum,
+                RunRequest(
+                    module=module,
+                    config=config.replace(seed=seed),
+                    load_seed=seed,
+                    label=f"btdp-sweep/{maximum}/{benchmark}",
+                ),
+            )
+    results = batch.run()
+    baseline = results.median("baseline")
+
+    out: Dict[int, Dict[str, float]] = {}
+    for maximum in maxima:
         benign, total = 0, 0
         if maximum > 0:
             full = R2CConfig.full().replace(btdp_max_per_function=maximum)
             for index in range(stack_samples):
-                session = VictimSession(
-                    full.replace(seed=700 + index), load_seed=300 + index
+                picks = _probe_benign_heap_picks(
+                    full.replace(seed=700 + index),
+                    load_seed=300 + index,
+                    attacker_seed=index,
                 )
-                picked: Dict[str, List[int]] = {}
-
-                def hook(view):
-                    picked["heap"] = cluster_pointers(view.leak_stack()).heap_values()
-
-                session.probe(hook, attacker_seed=index)
-                process, _ = session.spawn()
-                btdps = set(process.r2c_runtime["btdp_values"])
-                values = picked.get("heap", [])
-                benign += sum(1 for v in values if v not in btdps)
-                total += len(values)
+                benign += picks[0]
+                total += picks[1]
         out[maximum] = {
-            "overhead_pct": overhead_percent(protected, baseline),
+            "overhead_pct": overhead_percent(results.median(maximum), baseline),
             "benign_fraction": (benign / total) if total else 1.0,
         }
     return out
@@ -477,6 +681,7 @@ def experiment_opt_levels(
     *,
     seeds: Sequence[int] = (1,),
     redundancies: Sequence[int] = (0, 10, 25),
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Full-R2C overhead at -O0 vs -O1 on redundancy-laden code.
 
@@ -485,19 +690,45 @@ def experiment_opt_levels(
     with the optimization level — context for the paper's choice to
     report -O3 numbers as the (honest) worst case.
     """
+    engine = _engine(engine)
+    modules = {r: _redundant_call_workload(redundancy=r) for r in redundancies}
+
+    batch = RequestBatch(engine)
+    for redundancy in redundancies:
+        for level in (0, 1):
+            batch.add(
+                ("baseline", redundancy, level),
+                RunRequest(
+                    module=modules[redundancy],
+                    config=R2CConfig.baseline().replace(
+                        opt_level=level, seed=seeds[0]
+                    ),
+                    load_seed=seeds[0],
+                    label=f"opt-levels/baseline/r{redundancy}/O{level}",
+                ),
+            )
+            for seed in seeds:
+                batch.add(
+                    ("full", redundancy, level),
+                    RunRequest(
+                        module=modules[redundancy],
+                        config=R2CConfig.full().replace(opt_level=level, seed=seed),
+                        load_seed=seed,
+                        label=f"opt-levels/full/r{redundancy}/O{level}",
+                    ),
+                )
+    results = batch.run()
+
     out: Dict[str, Dict[str, float]] = {}
     for redundancy in redundancies:
         label = f"redundancy={redundancy}"
-        out[label] = {}
-        for level in (0, 1):
-            source = lambda r=redundancy: _redundant_call_workload(redundancy=r)
-            baseline = measure_config(
-                source, R2CConfig.baseline().replace(opt_level=level), seeds=seeds[:1]
+        out[label] = {
+            f"O{level}": overhead_percent(
+                results.median(("full", redundancy, level)),
+                results.median(("baseline", redundancy, level)),
             )
-            protected = measure_config(
-                source, R2CConfig.full().replace(opt_level=level), seeds=seeds
-            )
-            out[label][f"O{level}"] = overhead_percent(protected, baseline)
+            for level in (0, 1)
+        }
     return out
 
 
@@ -506,7 +737,11 @@ def experiment_opt_levels(
 # ---------------------------------------------------------------------------
 
 def experiment_overhead_decomposition(
-    *, benchmark: str = "omnetpp", seed: int = 1, btra_mode: str = "avx"
+    *,
+    benchmark: str = "omnetpp",
+    seed: int = 1,
+    btra_mode: str = "avx",
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, float]:
     """Attribute full-R2C overhead to the instructions each feature emits.
 
@@ -515,25 +750,37 @@ def experiment_overhead_decomposition(
     residual: i-cache pressure on untagged code, frame growth, etc.).
     A direct, measured version of the component analysis of Section 6.2.
     """
-    from repro.machine.cpu import CPU
-    from repro.machine.costs import get_costs
-    from repro.machine.loader import load_binary
-
+    engine = _engine(engine)
     module = build_spec_benchmark(benchmark)
-    base_binary = compile_module(module, R2CConfig.baseline())
-    base_process = load_binary(base_binary, seed=seed)
-    base_process.register_service("attack_hook", lambda p, c: 0)
-    base = CPU(base_process, get_costs("epyc-rome")).run()
 
-    full_binary = compile_module(module, R2CConfig.full(seed=seed, btra_mode=btra_mode))
-    full_process = load_binary(full_binary, seed=seed)
-    full_process.register_service("attack_hook", lambda p, c: 0)
-    full = CPU(full_process, get_costs("epyc-rome"), attribute_tags=True).run()
+    batch = RequestBatch(engine)
+    batch.add(
+        "base",
+        RunRequest(
+            module=module,
+            config=R2CConfig.baseline(),
+            load_seed=seed,
+            label=f"decomposition/base/{benchmark}",
+        ),
+    )
+    batch.add(
+        "full",
+        RunRequest(
+            module=module,
+            config=R2CConfig.full(seed=seed, btra_mode=btra_mode),
+            load_seed=seed,
+            attribute_tags=True,
+            label=f"decomposition/full/{benchmark}",
+        ),
+    )
+    results = batch.run()
+    base = results.record("base")
+    full = results.record("full")
 
     added = full.cycles - base.cycles
     decomposition: Dict[str, float] = {}
     tagged_total = 0.0
-    for tag, cycles in sorted(full.tag_cycles.items()):
+    for tag, cycles in sorted((full.tag_cycles or {}).items()):
         decomposition[tag] = 100.0 * cycles / added if added else 0.0
         tagged_total += cycles
     decomposition["(untagged residual)"] = (

@@ -11,39 +11,43 @@ Methodology mirrors Section 6.2 of the paper:
 
 Because the simulator is deterministic, a (build seed, load seed) pair
 fully determines a run; varying seeds plays the role of run-to-run noise.
+
+This module is a thin facade over :mod:`repro.eval.engine`, which owns
+the actual execution: content-addressed compile caching (each (module,
+config, seed) is compiled exactly once per session — in particular the
+baseline of :func:`measure_overhead` is compiled and run once per
+(module, machine), not once per protected config), builder memoization
+(a builder callable is materialized once, not once per seed), and the
+optional process-pool fan-out behind ``--jobs``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence
 
-from repro.core.compiler import compile_module
 from repro.core.config import R2CConfig
+from repro.eval.engine import (
+    ExperimentEngine,
+    ModuleSource,
+    RunRequest,
+    RunStats,
+    get_session_engine,
+)
 from repro.eval.stats import median
-from repro.machine.costs import get_costs
-from repro.machine.cpu import CPU
-from repro.machine.loader import load_binary
 from repro.toolchain.ir import Module
 
-ModuleSource = Union[Module, Callable[[], Module]]
+__all__ = [
+    "RunStats",
+    "ModuleSource",
+    "run_module",
+    "measure_config",
+    "measure_overhead",
+    "verify_equivalence",
+]
 
 
-@dataclass
-class RunStats:
-    """Metrics from one run."""
-
-    cycles: float
-    instructions: int
-    calls: int
-    max_rss: int
-    icache_misses: int
-    exit_code: int
-    output: Tuple[int, ...]
-
-
-def _materialize(source: ModuleSource) -> Module:
-    return source() if callable(source) else source
+def _materialize(source: ModuleSource, engine: Optional[ExperimentEngine] = None) -> Module:
+    return (engine or get_session_engine()).materialize(source)
 
 
 def run_module(
@@ -54,23 +58,21 @@ def run_module(
     load_seed: int = 1,
     instruction_budget: int = 50_000_000,
     heap_size: int = 8 * 1024 * 1024,
+    engine: Optional[ExperimentEngine] = None,
 ) -> RunStats:
     """Compile under ``config``, load, run to completion, collect metrics."""
-    binary = compile_module(module, config)
-    process = load_binary(binary, seed=load_seed, heap_size=heap_size)
-    process.register_service("attack_hook", lambda proc, cpu: 0)
-    cpu = CPU(process, get_costs(machine), instruction_budget=instruction_budget)
-    result = cpu.run()
-    process.note_resident()
-    return RunStats(
-        cycles=result.cycles,
-        instructions=result.instructions,
-        calls=result.calls,
-        max_rss=process.max_rss,
-        icache_misses=result.icache_misses,
-        exit_code=result.exit_code,
-        output=tuple(result.output),
+    engine = engine or get_session_engine()
+    record = engine.run(
+        RunRequest(
+            module=module,
+            config=config if config is not None else R2CConfig.baseline(),
+            machine=machine,
+            load_seed=load_seed,
+            instruction_budget=instruction_budget,
+            heap_size=heap_size,
+        )
     )
+    return record.stats()
 
 
 def measure_config(
@@ -80,18 +82,23 @@ def measure_config(
     machine: str = "epyc-rome",
     seeds: Sequence[int] = (1, 2, 3),
     metric: str = "cycles",
+    engine: Optional[ExperimentEngine] = None,
 ) -> float:
     """Median metric across per-seed recompilations of ``source``."""
-    values = []
-    for seed in seeds:
-        stats = run_module(
-            _materialize(source),
-            config.replace(seed=seed),
-            machine=machine,
-            load_seed=seed,
-        )
-        values.append(getattr(stats, metric))
-    return median(values)
+    engine = engine or get_session_engine()
+    module = engine.materialize(source)
+    records = engine.submit(
+        [
+            RunRequest(
+                module=module,
+                config=config.replace(seed=seed),
+                machine=machine,
+                load_seed=seed,
+            )
+            for seed in seeds
+        ]
+    )
+    return median([getattr(record, metric) for record in records])
 
 
 def measure_overhead(
@@ -101,19 +108,48 @@ def measure_overhead(
     machine: str = "epyc-rome",
     seeds: Sequence[int] = (1, 2, 3),
     metric: str = "cycles",
+    engine: Optional[ExperimentEngine] = None,
 ) -> float:
-    """Protected/baseline metric ratio (1.0 = no overhead)."""
-    protected = measure_config(source, config, machine=machine, seeds=seeds, metric=metric)
-    baseline = measure_config(
-        source, R2CConfig.baseline(), machine=machine, seeds=seeds[:1], metric=metric
-    )
+    """Protected/baseline metric ratio (1.0 = no overhead).
+
+    Protected and baseline cells go out as one batch (so ``--jobs`` can
+    overlap them); the baseline is served from the engine's caches after
+    its first computation for a given (module, machine).
+    """
+    engine = engine or get_session_engine()
+    module = engine.materialize(source)
+    baseline_seeds = list(seeds[:1])
+    requests = [
+        RunRequest(
+            module=module,
+            config=config.replace(seed=seed),
+            machine=machine,
+            load_seed=seed,
+        )
+        for seed in seeds
+    ] + [
+        RunRequest(
+            module=module,
+            config=R2CConfig.baseline().replace(seed=seed),
+            machine=machine,
+            load_seed=seed,
+        )
+        for seed in baseline_seeds
+    ]
+    records = engine.submit(requests)
+    protected = median([getattr(r, metric) for r in records[: len(seeds)]])
+    baseline = median([getattr(r, metric) for r in records[len(seeds):]])
     return protected / baseline
 
 
 def verify_equivalence(
-    module: Module, config: R2CConfig, *, load_seed: int = 1
+    module: Module,
+    config: R2CConfig,
+    *,
+    load_seed: int = 1,
+    engine: Optional[ExperimentEngine] = None,
 ) -> bool:
     """Check the diversified binary computes what the baseline computes."""
-    base = run_module(module, R2CConfig.baseline(), load_seed=load_seed)
-    protected = run_module(module, config, load_seed=load_seed)
+    base = run_module(module, R2CConfig.baseline(), load_seed=load_seed, engine=engine)
+    protected = run_module(module, config, load_seed=load_seed, engine=engine)
     return (base.exit_code, base.output) == (protected.exit_code, protected.output)

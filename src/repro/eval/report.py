@@ -133,6 +133,27 @@ def render_opt_levels(data) -> str:
     return "\n".join(lines)
 
 
+def render_engine_summary(summary) -> str:
+    """Render an :class:`repro.eval.engine.EngineSummary`: cache behavior,
+    compile/run wall time, and per-worker utilization."""
+    lines = [
+        f"Engine: {summary.executed} runs executed "
+        f"({summary.requested} requested, {summary.run_cache_hits} run-cache hits) "
+        f"across {summary.batches} batches, jobs={summary.jobs}",
+        f"  compiles: {summary.compiles} "
+        f"(+{summary.compile_cache_hits} compile-cache hits, "
+        f"{summary.distinct_binaries} distinct binaries)",
+        f"  wall time: compile {summary.compile_seconds:.2f}s, "
+        f"run {summary.run_seconds:.2f}s",
+    ]
+    if summary.worker_runs:
+        utilization = ", ".join(
+            f"{worker}:{count}" for worker, count in sorted(summary.worker_runs.items())
+        )
+        lines.append(f"  workers ({summary.workers}): {utilization}")
+    return "\n".join(lines)
+
+
 def render_decomposition(data: Dict[str, float]) -> str:
     total = data.get("total_overhead_pct", 0.0)
     lines = [f"Overhead decomposition by emitted-instruction tag "

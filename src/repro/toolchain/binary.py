@@ -81,6 +81,16 @@ class Binary:
     entry_symbol: str = "_start"
     metadata: Dict[str, Any] = field(default_factory=dict)
 
+    @property
+    def module_fingerprint(self) -> Optional[str]:
+        """Content hash of the source module, stamped by the compiler."""
+        return self.metadata.get("module_fingerprint")
+
+    @property
+    def config_digest(self) -> Optional[str]:
+        """Digest of the :class:`R2CConfig` this binary was built under."""
+        return self.metadata.get("config_digest")
+
     def symbol_offset(self, name: str) -> Tuple[str, int]:
         """Return ("text"|"data", offset) for a symbol."""
         if name in self.symbols_text:

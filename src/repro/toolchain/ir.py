@@ -14,6 +14,7 @@ Operands are either virtual-register names (``str``) or integer constants
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -162,6 +163,43 @@ class Module:
             if g.name == name:
                 return g
         raise ToolchainError(f"no global {name!r}")
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the module (sha256 hex digest).
+
+        Two modules with identical names, globals, functions, blocks and
+        instructions — in the same order, since order is meaningful to the
+        code generator — share a fingerprint.  This is the module half of
+        the compile-cache key used by :mod:`repro.eval.engine`.
+
+        The digest is memoized on the instance; fingerprint a module only
+        once it is fully built (builders do not mutate after ``finish()``,
+        and the compiler works on deep copies).
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        hasher = hashlib.sha256()
+
+        def feed(text: str) -> None:
+            hasher.update(text.encode("utf-8"))
+            hasher.update(b"\n")
+
+        feed(f"module {self.name}")
+        for gv in self.globals:
+            feed(f"global {gv.name} {gv.size_words} {tuple(gv.init)!r} {gv.is_padding}")
+        for fn in self.functions.values():
+            feed(
+                f"func {fn.name} params={fn.params!r} "
+                f"locals={list(fn.locals.items())!r} protected={fn.protected}"
+            )
+            for block in fn.blocks:
+                feed(f"block {block.label}")
+                for instr in block.instrs:
+                    feed(repr(instr))
+        digest = hasher.hexdigest()
+        self._fingerprint = digest
+        return digest
 
     def validate(self) -> None:
         """Structural checks: block termination, label/symbol resolution."""

@@ -1,0 +1,253 @@
+"""Tests for the experiment-execution engine (repro.eval.engine).
+
+Covers the contract the drivers rely on: serial and parallel executors
+produce identical records in request order, the compile cache is
+content-addressed (same key -> same Binary object; new seed -> new
+layout), identical run requests execute once per session, builder
+callables materialize once, and JSONL records round-trip.
+"""
+
+import pytest
+
+from repro.core.config import R2CConfig
+from repro.eval.engine import (
+    CompileCache,
+    ExperimentEngine,
+    RunRecord,
+    RunRequest,
+    read_records,
+    write_records,
+)
+from repro.eval.harness import measure_config, measure_overhead
+from repro.toolchain.builder import IRBuilder
+from repro.workloads.programs import add_leaf_workers
+
+
+def small_module(name="engine-test", calls=24):
+    """A small call-heavy module: cheap to run, sensitive to diversification."""
+    ir = IRBuilder(name)
+    leaves = add_leaf_workers(ir, "w", 2, work=3)
+    fb = ir.function("main")
+    fb.local("acc")
+    fb.store_local("acc", 0)
+    ivar = fb.counted_loop(calls, "body", "done")
+    i = fb.load_local(ivar)
+    result = fb.call(leaves[0], [fb.add(i, 1)])
+    fb.store_local("acc", fb.add(fb.load_local("acc"), result))
+    fb.loop_backedge(ivar, "body")
+    fb.new_block("done")
+    fb.out(fb.band(fb.load_local("acc"), 0xFFFF_FFFF))
+    fb.ret(0)
+    return ir.finish()
+
+
+def request_set(module, seeds=(1, 2, 3)):
+    """Protected cells per seed plus one baseline cell."""
+    requests = [
+        RunRequest(
+            module=module,
+            config=R2CConfig.full(seed=seed),
+            load_seed=seed,
+            label=f"full/{seed}",
+        )
+        for seed in seeds
+    ]
+    requests.append(
+        RunRequest(
+            module=module,
+            config=R2CConfig.baseline(seed=seeds[0]),
+            load_seed=seeds[0],
+            label="baseline",
+        )
+    )
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+def test_serial_and_parallel_records_identical():
+    """The parallel executor is an implementation detail: for a fixed seed
+    set it must produce byte-identical records, in request order."""
+    module = small_module()
+    requests = request_set(module)
+    with ExperimentEngine(jobs=1) as serial, ExperimentEngine(jobs=2) as parallel:
+        serial_records = serial.submit(requests)
+        parallel_records = parallel.submit(requests)
+    assert [r.canonical_json() for r in serial_records] == [
+        r.canonical_json() for r in parallel_records
+    ]
+    assert [r.label for r in serial_records] == ["full/1", "full/2", "full/3", "baseline"]
+
+
+def test_parallel_groups_share_compiles():
+    """Duplicate load seeds against one binary compile once per batch even
+    under the process-pool executor (cells grouped by compile key)."""
+    module = small_module()
+    config = R2CConfig.full(seed=5)
+    requests = [
+        RunRequest(module=module, config=config, load_seed=seed) for seed in (1, 2, 3)
+    ]
+    with ExperimentEngine(jobs=2) as engine:
+        records = engine.submit(requests)
+    assert sum(1 for r in records if not r.cache_hit) == 1
+    assert sum(1 for r in records if r.cache_hit) == 2
+    # One binary, three ASLR layouts; the computation is load-invariant.
+    assert [r.load_seed for r in records] == [1, 2, 3]
+    assert len({(r.exit_code, r.output) for r in records}) == 1
+
+
+# ---------------------------------------------------------------------------
+# Compile cache
+# ---------------------------------------------------------------------------
+
+def test_compile_cache_returns_same_binary_for_identical_key():
+    cache = CompileCache()
+    module = small_module()
+    config = R2CConfig.full(seed=7)
+    first, _, hit_first = cache.get_or_compile(module, config)
+    second, _, hit_second = cache.get_or_compile(module, config)
+    assert second is first
+    assert (hit_first, hit_second) == (False, True)
+    assert cache.compile_counts[(module.fingerprint(), config.digest())] == 1
+    # A structurally identical module is the same content address.
+    clone = small_module()
+    third, _, hit_third = cache.get_or_compile(clone, config)
+    assert third is first and hit_third
+
+
+def test_compile_cache_seed_changes_layout():
+    cache = CompileCache()
+    module = small_module()
+    a, _, _ = cache.get_or_compile(module, R2CConfig.full(seed=1))
+    b, _, _ = cache.get_or_compile(module, R2CConfig.full(seed=2))
+    assert a is not b
+    # Differently seeded diversification: different text layout.
+    assert a.symbols_text != b.symbols_text or a.eh_frame_rows() != b.eh_frame_rows()
+
+
+def test_binary_carries_cache_identity():
+    module = small_module()
+    config = R2CConfig.full(seed=3)
+    binary, _, _ = CompileCache().get_or_compile(module, config)
+    assert binary.module_fingerprint == module.fingerprint()
+    assert binary.config_digest == config.digest()
+
+
+def test_module_fingerprint_is_content_addressed():
+    assert small_module().fingerprint() == small_module().fingerprint()
+    assert small_module().fingerprint() != small_module(calls=25).fingerprint()
+    assert R2CConfig.full(seed=1).digest() != R2CConfig.full(seed=2).digest()
+
+
+# ---------------------------------------------------------------------------
+# Run-level dedup + harness integration (the measure_* satellites)
+# ---------------------------------------------------------------------------
+
+def test_identical_requests_execute_once():
+    module = small_module()
+    request = RunRequest(module=module, config=R2CConfig.full(seed=1), load_seed=1)
+    with ExperimentEngine() as engine:
+        first, second = engine.submit([request, request])
+        third = engine.run(request)
+    assert first is second is third
+    summary = engine.summary()
+    assert summary.executed == 1
+    assert summary.requested == 3
+    assert summary.run_cache_hits == 2
+
+
+def test_measure_overhead_compiles_and_runs_baseline_once():
+    """The Section 6.2 loop at seed recompiled/re-ran the baseline for
+    every protected config; with the engine it happens exactly once per
+    (module, machine)."""
+    module = small_module()
+    baseline_config = R2CConfig.baseline().replace(seed=1)
+    with ExperimentEngine() as engine:
+        for config in (R2CConfig.full(), R2CConfig.btdp_only(), R2CConfig.layout_only()):
+            ratio = measure_overhead(module, config, seeds=(1, 2), engine=engine)
+            assert ratio > 0
+        assert engine.compile_count(module, baseline_config) == 1
+        baseline_records = [
+            r for r in engine.records if r.config_digest == baseline_config.digest()
+        ]
+        assert len(baseline_records) == 1
+
+
+def test_measure_config_materializes_builder_once():
+    invocations = []
+
+    def builder():
+        invocations.append(1)
+        return small_module()
+
+    with ExperimentEngine() as engine:
+        measure_config(builder, R2CConfig.full(), seeds=(1, 2, 3), engine=engine)
+    assert len(invocations) == 1
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+
+def test_run_records_roundtrip_jsonl(tmp_path):
+    module = small_module()
+    with ExperimentEngine() as engine:
+        records = engine.submit(request_set(module, seeds=(1, 2)))
+        path = tmp_path / "records.jsonl"
+        assert engine.write_records(str(path)) == len(records)
+    loaded = read_records(str(path))
+    assert loaded == records
+    assert all(isinstance(r.output, tuple) for r in loaded)
+    # Appending accumulates.
+    write_records(records[:1], str(path))
+    assert len(read_records(str(path))) == len(records) + 1
+
+
+def test_record_canonical_excludes_environment_fields():
+    module = small_module()
+    with ExperimentEngine() as engine:
+        record = engine.run(
+            RunRequest(module=module, config=R2CConfig.full(seed=1), load_seed=1)
+        )
+    canonical = record.canonical()
+    for field_name in ("compile_seconds", "run_seconds", "cache_hit", "worker"):
+        assert field_name not in canonical
+    assert canonical["cycles"] == record.cycles
+    assert RunRecord.from_json(record.to_json()) == record
+
+
+def test_decomposition_requests_carry_tag_cycles():
+    module = small_module()
+    with ExperimentEngine() as engine:
+        plain = engine.run(
+            RunRequest(module=module, config=R2CConfig.full(seed=1), load_seed=1)
+        )
+        tagged = engine.run(
+            RunRequest(
+                module=module,
+                config=R2CConfig.full(seed=1),
+                load_seed=1,
+                attribute_tags=True,
+            )
+        )
+    assert plain.tag_cycles is None
+    assert tagged.tag_cycles and all(v >= 0 for v in tagged.tag_cycles.values())
+    # Attribution is observability only — the run itself is unchanged.
+    assert tagged.cycles == plain.cycles
+
+
+def test_engine_summary_counts():
+    module = small_module()
+    with ExperimentEngine() as engine:
+        engine.submit(request_set(module, seeds=(1, 2)))
+        engine.submit(request_set(module, seeds=(1, 2)))  # all run-cache hits
+        summary = engine.summary()
+    assert summary.executed == 3
+    assert summary.requested == 6
+    assert summary.run_cache_hits == 3
+    assert summary.batches == 2
+    assert summary.compiles == 3
+    assert summary.distinct_binaries == 3
+    assert sum(summary.worker_runs.values()) == summary.executed
