@@ -52,13 +52,22 @@ def pytest_addoption(parser):
         metavar="PATH",
         help="append per-run JSONL records to PATH",
     )
+    group.addoption(
+        "--backend",
+        default="reference",
+        help="execution backend for experiment runs "
+        "(reference or fast; identical results, different wall time)",
+    )
 
 
 @pytest.fixture(scope="session", autouse=True)
 def repro_engine(request):
     """One shared engine for the whole benchmark session."""
     engine = set_session_engine(
-        ExperimentEngine(jobs=request.config.getoption("--jobs"))
+        ExperimentEngine(
+            jobs=request.config.getoption("--jobs"),
+            backend=request.config.getoption("--backend"),
+        )
     )
     yield engine
     if engine.records:

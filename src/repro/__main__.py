@@ -24,6 +24,7 @@ import time
 
 from repro.eval import experiments, report
 from repro.eval.engine import ExperimentEngine, set_session_engine
+from repro.machine.backends import available_backends
 
 QUICK_BENCHMARKS = ["perlbench", "mcf", "lbm", "omnetpp", "xalancbmk", "xz"]
 
@@ -142,6 +143,13 @@ def main(argv=None) -> int:
         help="worker processes for independent runs (default: 1, serial)",
     )
     parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help="execution backend for all runs (default: reference; "
+        "'fast' uses the pre-decoded micro-op pipeline, same results)",
+    )
+    parser.add_argument(
         "--records-out",
         default=None,
         metavar="PATH",
@@ -165,7 +173,7 @@ def main(argv=None) -> int:
         except OSError as error:
             parser.error(f"--records-out {args.records_out}: {error}")
 
-    engine = set_session_engine(ExperimentEngine(jobs=args.jobs))
+    engine = set_session_engine(ExperimentEngine(jobs=args.jobs, backend=args.backend))
     try:
         for name in names:
             fn, title = EXPERIMENTS[name]

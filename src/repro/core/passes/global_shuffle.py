@@ -9,11 +9,10 @@ the data-section base still cannot address a specific global.
 from __future__ import annotations
 
 from repro.core.config import R2CConfig
+from repro.numeric import MASK64
 from repro.rng import DiversityRng
 from repro.toolchain.ir import GlobalVar, Module
 from repro.toolchain.plan import ModulePlan
-
-MASK64 = (1 << 64) - 1
 
 
 def plan_global_order(

@@ -35,7 +35,7 @@ import os
 import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.compiler import compile_module
@@ -50,9 +50,11 @@ ModuleSource = Union[Module, Callable[[], Module]]
 
 #: (module fingerprint, config digest) — identifies one compilation.
 CompileKey = Tuple[str, str]
-#: Compile key + (machine, load seed, budget, heap size, attribute_tags)
-#: — identifies one deterministic run.
-RunKey = Tuple[str, str, str, int, int, int, bool]
+#: Compile key + (machine, load seed, budget, heap size, attribute_tags,
+#: backend) — identifies one deterministic run.  The execution backend is
+#: part of the key (two backends are two distinct executions) even though
+#: the canonical payload is backend-invariant by construction.
+RunKey = Tuple[str, str, str, int, int, int, bool, str]
 
 DEFAULT_INSTRUCTION_BUDGET = 50_000_000
 DEFAULT_HEAP_SIZE = 8 * 1024 * 1024
@@ -77,6 +79,12 @@ class RunRequest:
 
     ``label`` is free-form provenance (e.g. ``"figure6/full/mcf"``) carried
     into the record; it does not participate in any cache key.
+
+    ``backend`` selects the machine's execution backend
+    (:mod:`repro.machine.backends`).  ``None`` defers to the engine's
+    session default; both backends produce identical counters, so the
+    choice only affects wall-clock time — but it still participates in the
+    run key so measurements from different backends are never conflated.
     """
 
     module: Module
@@ -86,6 +94,7 @@ class RunRequest:
     instruction_budget: int = DEFAULT_INSTRUCTION_BUDGET
     heap_size: int = DEFAULT_HEAP_SIZE
     attribute_tags: bool = False
+    backend: Optional[str] = None
     label: str = ""
 
     @property
@@ -103,12 +112,20 @@ class RunRequest:
             self.instruction_budget,
             self.heap_size,
             self.attribute_tags,
+            self.backend or DEFAULT_EXECUTION_BACKEND,
         )
 
 
+#: Backend assumed when a request does not name one and no engine default
+#: intervenes (mirrors the CPU's own default).
+DEFAULT_EXECUTION_BACKEND = "reference"
+
 #: RunRecord fields that depend on the execution environment, not the
-#: (deterministic) request — excluded from canonical comparisons.
-ENVIRONMENT_FIELDS = ("compile_seconds", "run_seconds", "cache_hit", "worker")
+#: (deterministic) request — excluded from canonical comparisons.  The
+#: backend belongs here: backends are required to produce identical
+#: counters, so canonical payloads compare equal across backends (the
+#: differential tests rely on exactly that).
+ENVIRONMENT_FIELDS = ("compile_seconds", "run_seconds", "cache_hit", "worker", "backend")
 
 
 @dataclass
@@ -133,6 +150,7 @@ class RunRecord:
     text_bytes: int
     instruction_count: int
     tag_cycles: Optional[Dict[str, float]] = None
+    backend: str = DEFAULT_EXECUTION_BACKEND
     compile_seconds: float = 0.0
     run_seconds: float = 0.0
     cache_hit: bool = False
@@ -226,6 +244,7 @@ def _execute_request(cache: CompileCache, request: RunRequest) -> RunRecord:
     binary, compile_seconds, cache_hit = cache.get_or_compile(
         request.module, request.config
     )
+    backend = request.backend or DEFAULT_EXECUTION_BACKEND
     started = time.perf_counter()
     process = load_binary(binary, seed=request.load_seed, heap_size=request.heap_size)
     process.register_service("attack_hook", lambda proc, cpu: 0)
@@ -234,6 +253,7 @@ def _execute_request(cache: CompileCache, request: RunRequest) -> RunRecord:
         get_costs(request.machine),
         instruction_budget=request.instruction_budget,
         attribute_tags=request.attribute_tags,
+        backend=backend,
     )
     result = cpu.run()
     process.note_resident()
@@ -258,6 +278,7 @@ def _execute_request(cache: CompileCache, request: RunRequest) -> RunRecord:
         text_bytes=binary.text_size,
         instruction_count=binary.instruction_count(),
         tag_cycles=dict(result.tag_cycles) if request.attribute_tags else None,
+        backend=backend,
         compile_seconds=compile_seconds,
         run_seconds=run_seconds,
         cache_hit=cache_hit,
@@ -292,6 +313,7 @@ class EngineSummary:
     compile_seconds: float
     run_seconds: float
     worker_runs: Dict[int, int] = field(default_factory=dict)
+    backend: str = DEFAULT_EXECUTION_BACKEND
 
     @property
     def workers(self) -> int:
@@ -304,9 +326,16 @@ class ExperimentEngine:
     ``jobs == 1`` runs everything in-process; ``jobs > 1`` fans
     independent cells out over a persistent ``ProcessPoolExecutor``.
     Results always come back in request order.
+
+    ``backend`` is the session default execution backend, applied to every
+    request that does not name one itself (``RunRequest.backend=None``).
     """
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1, backend: str = DEFAULT_EXECUTION_BACKEND):
+        from repro.machine.backends import get_backend
+
+        get_backend(backend)  # fail fast on unknown names
+        self.backend = backend
         self.jobs = max(1, int(jobs))
         self.cache = CompileCache()
         self.records: List[RunRecord] = []
@@ -362,6 +391,13 @@ class ExperimentEngine:
         """
         self._batches += 1
         self._requested += len(requests)
+        if self.backend != DEFAULT_EXECUTION_BACKEND:
+            requests = [
+                request
+                if request.backend is not None
+                else replace(request, backend=self.backend)
+                for request in requests
+            ]
         results: List[Optional[RunRecord]] = [None] * len(requests)
         pending: Dict[RunKey, List[int]] = {}
         order: List[RunKey] = []
@@ -455,6 +491,7 @@ class ExperimentEngine:
             compile_seconds=compile_seconds,
             run_seconds=run_seconds,
             worker_runs=worker_runs,
+            backend=self.backend,
         )
 
 

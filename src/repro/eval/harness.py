@@ -58,9 +58,14 @@ def run_module(
     load_seed: int = 1,
     instruction_budget: int = 50_000_000,
     heap_size: int = 8 * 1024 * 1024,
+    backend: Optional[str] = None,
     engine: Optional[ExperimentEngine] = None,
 ) -> RunStats:
-    """Compile under ``config``, load, run to completion, collect metrics."""
+    """Compile under ``config``, load, run to completion, collect metrics.
+
+    ``backend`` picks the execution backend; ``None`` defers to the
+    engine's session default.
+    """
     engine = engine or get_session_engine()
     record = engine.run(
         RunRequest(
@@ -70,6 +75,7 @@ def run_module(
             load_seed=load_seed,
             instruction_budget=instruction_budget,
             heap_size=heap_size,
+            backend=backend,
         )
     )
     return record.stats()
@@ -82,6 +88,7 @@ def measure_config(
     machine: str = "epyc-rome",
     seeds: Sequence[int] = (1, 2, 3),
     metric: str = "cycles",
+    backend: Optional[str] = None,
     engine: Optional[ExperimentEngine] = None,
 ) -> float:
     """Median metric across per-seed recompilations of ``source``."""
@@ -94,6 +101,7 @@ def measure_config(
                 config=config.replace(seed=seed),
                 machine=machine,
                 load_seed=seed,
+                backend=backend,
             )
             for seed in seeds
         ]
@@ -108,6 +116,7 @@ def measure_overhead(
     machine: str = "epyc-rome",
     seeds: Sequence[int] = (1, 2, 3),
     metric: str = "cycles",
+    backend: Optional[str] = None,
     engine: Optional[ExperimentEngine] = None,
 ) -> float:
     """Protected/baseline metric ratio (1.0 = no overhead).
@@ -125,6 +134,7 @@ def measure_overhead(
             config=config.replace(seed=seed),
             machine=machine,
             load_seed=seed,
+            backend=backend,
         )
         for seed in seeds
     ] + [
@@ -133,6 +143,7 @@ def measure_overhead(
             config=R2CConfig.baseline().replace(seed=seed),
             machine=machine,
             load_seed=seed,
+            backend=backend,
         )
         for seed in baseline_seeds
     ]

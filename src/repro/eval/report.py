@@ -139,7 +139,8 @@ def render_engine_summary(summary) -> str:
     lines = [
         f"Engine: {summary.executed} runs executed "
         f"({summary.requested} requested, {summary.run_cache_hits} run-cache hits) "
-        f"across {summary.batches} batches, jobs={summary.jobs}",
+        f"across {summary.batches} batches, jobs={summary.jobs}, "
+        f"backend={getattr(summary, 'backend', 'reference')}",
         f"  compiles: {summary.compiles} "
         f"(+{summary.compile_cache_hits} compile-cache hits, "
         f"{summary.distinct_binaries} distinct binaries)",

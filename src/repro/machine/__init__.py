@@ -12,7 +12,13 @@ assumes.  It provides:
 * :mod:`repro.machine.icache` / :mod:`repro.machine.costs` — the cycle cost
   model, including an instruction-cache simulator that reproduces why the
   push-based BTRA setup is slower than the AVX2 one (Section 6.2.1).
-* :mod:`repro.machine.cpu` — the interpreter with cycle/call accounting.
+* :mod:`repro.machine.cpu` — architectural state and cycle/call accounting;
+  execution is delegated to a pluggable backend.
+* :mod:`repro.machine.uops` / :mod:`repro.machine.backends` — the
+  fetch/decode/execute pipeline: binaries are decoded once into
+  pre-resolved micro-ops (cached by content fingerprint) and driven by
+  either the ``reference`` interpreter loop or the ``fast`` handler-table
+  backend, with byte-identical results.
 * :mod:`repro.machine.process` — the process image with ASLR over text,
   data, heap and stack regions.
 * :mod:`repro.machine.loader` — maps a linked binary into a process.
@@ -31,6 +37,12 @@ from repro.machine.isa import (
 from repro.machine.costs import MachineCosts, MACHINE_PRESETS
 from repro.machine.icache import ICache
 from repro.machine.cpu import CPU, ExecutionResult
+from repro.machine.backends import (
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.machine.process import AddressSpaceLayout, Process
 from repro.machine.loader import load_binary
 
@@ -50,6 +62,10 @@ __all__ = [
     "ICache",
     "CPU",
     "ExecutionResult",
+    "ExecutionBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "AddressSpaceLayout",
     "Process",
     "load_binary",

@@ -1,0 +1,463 @@
+"""Execution backends: the dispatch/execute stages of the pipeline.
+
+The CPU (:mod:`repro.machine.cpu`) owns architectural state; a backend
+owns the interpretation loop.  Two implementations ship:
+
+* :class:`ReferenceBackend` (``"reference"``) — the original monolithic
+  interpreter loop, moved here verbatim.  It re-classifies operands and
+  re-checks fetch permissions on every instruction and is the semantic
+  baseline every other backend is measured against.
+* :class:`FastBackend` (``"fast"``) — drives the pre-resolved micro-op
+  stream produced by :mod:`repro.machine.uops`.  Operand dispatch, memory
+  address recipes, instruction costs, and i-cache line spans were all
+  resolved at decode/bind time, so the hot loop is a handler call plus
+  cost bookkeeping.  Fetch-permission checks are memoized per micro-op
+  against :attr:`Memory.perm_epoch`, which every mapping/protection
+  change bumps.
+
+Both backends must fill byte-identical :class:`ExecutionResult`\\ s —
+same counters (including float ``cycles``, which requires identical
+addition order), same faults at the same ``cpu.rip``, same shadow-stack
+and trace-hook behaviour.  ``tests/test_backends.py`` and the equivalence
+suite hold them to that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Protocol
+
+from repro.errors import (
+    BoobyTrapTriggered,
+    ExecutionLimitExceeded,
+    InvalidInstruction,
+    MachineError,
+    ShadowStackViolation,
+    StackMisaligned,
+)
+from repro.machine.isa import Imm, Mem, Op, Reg, VECTOR_WORDS, WORD
+from repro.machine.uops import HALT, MicroOp, SYNC, get_bound_program
+from repro.numeric import MASK64, to_signed, truncated_div
+
+__all__ = [
+    "ExecutionBackend",
+    "ReferenceBackend",
+    "FastBackend",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+
+class ExecutionBackend(Protocol):
+    """A pluggable dispatch/execute stage.
+
+    ``execute`` runs ``cpu`` from ``cpu.rip`` until EXIT or a fault,
+    accumulating into ``res`` exactly like the reference loop: counters
+    are flushed even when a fault propagates.
+    """
+
+    name: str
+
+    def execute(self, cpu, res):  # pragma: no cover - protocol signature
+        ...
+
+
+class ReferenceBackend:
+    """The original interpreter loop, preserved as the semantic baseline."""
+
+    name = "reference"
+
+    def execute(self, cpu, res):
+        # Local bindings for the hot loop.
+        instructions = cpu.process.instructions
+        op_costs = cpu.costs.op_costs
+        mem_extra = cpu.costs.mem_operand_extra
+        miss_penalty = cpu.costs.icache_miss_penalty
+        icache_access = cpu.icache.access
+        regs = cpu.regs
+        memory = cpu.process.memory
+        budget = cpu.instruction_budget
+        count_ops = cpu.count_opcodes
+        shadow = cpu.shadow_stack if cpu.shadow_stack_enabled else None
+        attribute = cpu.attribute_tags
+        tag_cycles = res.tag_cycles
+
+        executed = 0
+        cycles = 0.0
+        calls = 0
+        rets = 0
+        branches = 0
+
+        try:
+            while not cpu._halted:
+                rip = cpu.rip
+                instr = instructions.get(rip)
+                if instr is None:
+                    memory.fetch_check(rip)
+                    raise InvalidInstruction(f"no instruction at {rip:#x}")
+                memory.fetch_check(rip, instr.size)
+
+                executed += 1
+                if executed > budget:
+                    raise ExecutionLimitExceeded(f"budget of {budget} instructions exceeded")
+
+                if cpu.trace_fn is not None:
+                    cpu.trace_fn(cpu, rip, instr)
+
+                op = instr.op
+                cost = op_costs[op]
+                misses = icache_access(rip, instr.size)
+                if misses:
+                    cost += misses * miss_penalty
+                if isinstance(instr.a, Mem) or isinstance(instr.b, Mem):
+                    cost += mem_extra
+                cycles += cost
+                if attribute and instr.tag is not None:
+                    tag_cycles[instr.tag] = tag_cycles.get(instr.tag, 0.0) + cost
+                if count_ops:
+                    res.opcode_counts[op] = res.opcode_counts.get(op, 0) + 1
+
+                next_rip = rip + instr.size
+
+                if op is Op.MOV:
+                    cpu._write_operand(instr.a, cpu._read_operand(instr.b))
+                elif op is Op.PUSH:
+                    rsp = (regs[Reg.RSP] - WORD) & MASK64
+                    regs[Reg.RSP] = rsp
+                    memory.write_word(rsp, cpu._read_operand(instr.a))
+                elif op is Op.POP:
+                    rsp = regs[Reg.RSP]
+                    cpu._write_operand(instr.a, memory.read_word(rsp))
+                    regs[Reg.RSP] = (rsp + WORD) & MASK64
+                elif op is Op.ADD:
+                    cpu._write_operand(
+                        instr.a, cpu._read_operand(instr.a) + cpu._read_operand(instr.b)
+                    )
+                elif op is Op.SUB:
+                    cpu._write_operand(
+                        instr.a, cpu._read_operand(instr.a) - cpu._read_operand(instr.b)
+                    )
+                elif op is Op.IMUL:
+                    cpu._write_operand(
+                        instr.a,
+                        to_signed(cpu._read_operand(instr.a)) * to_signed(cpu._read_operand(instr.b)),
+                    )
+                elif op is Op.IDIV:
+                    divisor = to_signed(cpu._read_operand(instr.b))
+                    if divisor == 0:
+                        raise MachineError(f"division by zero at {rip:#x}")
+                    dividend = to_signed(cpu._read_operand(instr.a))
+                    cpu._write_operand(instr.a, truncated_div(dividend, divisor))
+                elif op is Op.AND:
+                    cpu._write_operand(
+                        instr.a, cpu._read_operand(instr.a) & cpu._read_operand(instr.b)
+                    )
+                elif op is Op.OR:
+                    cpu._write_operand(
+                        instr.a, cpu._read_operand(instr.a) | cpu._read_operand(instr.b)
+                    )
+                elif op is Op.XOR:
+                    cpu._write_operand(
+                        instr.a, cpu._read_operand(instr.a) ^ cpu._read_operand(instr.b)
+                    )
+                elif op is Op.SHL:
+                    cpu._write_operand(
+                        instr.a, cpu._read_operand(instr.a) << (cpu._read_operand(instr.b) & 63)
+                    )
+                elif op is Op.SHR:
+                    cpu._write_operand(
+                        instr.a, (cpu._read_operand(instr.a) & MASK64) >> (cpu._read_operand(instr.b) & 63)
+                    )
+                elif op is Op.NEG:
+                    cpu._write_operand(instr.a, -cpu._read_operand(instr.a))
+                elif op is Op.LEA:
+                    if not isinstance(instr.b, Mem):
+                        raise InvalidInstruction("lea requires a memory operand")
+                    cpu._write_operand(instr.a, cpu._mem_address(instr.b))
+                elif op is Op.CMP:
+                    cpu._cmp = to_signed(cpu._read_operand(instr.a)) - to_signed(
+                        cpu._read_operand(instr.b)
+                    )
+                elif op is Op.TEST:
+                    cpu._cmp = to_signed(
+                        cpu._read_operand(instr.a) & cpu._read_operand(instr.b)
+                    )
+                elif op is Op.SETE:
+                    cpu._write_operand(instr.a, 1 if cpu._cmp == 0 else 0)
+                elif op is Op.SETNE:
+                    cpu._write_operand(instr.a, 1 if cpu._cmp != 0 else 0)
+                elif op is Op.SETL:
+                    cpu._write_operand(instr.a, 1 if cpu._cmp < 0 else 0)
+                elif op is Op.SETLE:
+                    cpu._write_operand(instr.a, 1 if cpu._cmp <= 0 else 0)
+                elif op is Op.SETG:
+                    cpu._write_operand(instr.a, 1 if cpu._cmp > 0 else 0)
+                elif op is Op.SETGE:
+                    cpu._write_operand(instr.a, 1 if cpu._cmp >= 0 else 0)
+                elif op is Op.JMP:
+                    next_rip = cpu._branch_target(instr.a)
+                    branches += 1
+                elif op is Op.JE:
+                    branches += 1
+                    if cpu._cmp == 0:
+                        next_rip = cpu._branch_target(instr.a)
+                elif op is Op.JNE:
+                    branches += 1
+                    if cpu._cmp != 0:
+                        next_rip = cpu._branch_target(instr.a)
+                elif op is Op.JL:
+                    branches += 1
+                    if cpu._cmp < 0:
+                        next_rip = cpu._branch_target(instr.a)
+                elif op is Op.JLE:
+                    branches += 1
+                    if cpu._cmp <= 0:
+                        next_rip = cpu._branch_target(instr.a)
+                elif op is Op.JG:
+                    branches += 1
+                    if cpu._cmp > 0:
+                        next_rip = cpu._branch_target(instr.a)
+                elif op is Op.JGE:
+                    branches += 1
+                    if cpu._cmp >= 0:
+                        next_rip = cpu._branch_target(instr.a)
+                elif op is Op.CALL:
+                    if cpu.check_alignment and regs[Reg.RSP] % 16 != 0:
+                        raise StackMisaligned(
+                            f"rsp={regs[Reg.RSP]:#x} not 16-byte aligned at call ({rip:#x})"
+                        )
+                    target = cpu._branch_target(instr.a)
+                    rsp = (regs[Reg.RSP] - WORD) & MASK64
+                    regs[Reg.RSP] = rsp
+                    memory.write_word(rsp, next_rip)
+                    if shadow is not None:
+                        shadow.append(next_rip)
+                    next_rip = target
+                    calls += 1
+                elif op is Op.RET:
+                    rsp = regs[Reg.RSP]
+                    next_rip = memory.read_word(rsp)
+                    regs[Reg.RSP] = (rsp + WORD) & MASK64
+                    if shadow is not None:
+                        expected = shadow.pop() if shadow else 0
+                        if expected != next_rip:
+                            raise ShadowStackViolation(expected, next_rip)
+                    rets += 1
+                elif op is Op.NOP:
+                    pass
+                elif op is Op.TRAP:
+                    raise BoobyTrapTriggered(rip)
+                elif op is Op.VLOAD or op is Op.VLOAD512:
+                    if not isinstance(instr.b, Mem):
+                        raise InvalidInstruction("vload requires a memory source")
+                    nbytes = WORD * (VECTOR_WORDS if op is Op.VLOAD else 2 * VECTOR_WORDS)
+                    data = memory.read(cpu._mem_address(instr.b), nbytes)
+                    cpu.vregs[instr.a - Reg.YMM0] = data
+                elif op is Op.VSTORE or op is Op.VSTORE512:
+                    if not isinstance(instr.a, Mem):
+                        raise InvalidInstruction("vstore requires a memory destination")
+                    memory.write(cpu._mem_address(instr.a), cpu.vregs[instr.b - Reg.YMM0])
+                elif op is Op.VZEROUPPER:
+                    pass
+                elif op is Op.CALLRT:
+                    if not isinstance(instr.a, Imm) or instr.a.symbol is None:
+                        raise InvalidInstruction("callrt requires a service name")
+                    fn = cpu.process.service(instr.a.symbol)
+                    regs[Reg.RAX] = fn(cpu.process, cpu) & MASK64
+                elif op is Op.OUT:
+                    cpu.process.output.append(cpu._read_operand(instr.a))
+                elif op is Op.EXIT:
+                    cpu._exit_code = cpu._read_operand(instr.a) if instr.a is not None else 0
+                    cpu._halted = True
+                else:  # pragma: no cover - exhaustive over Op
+                    raise InvalidInstruction(f"unimplemented opcode {op}")
+
+                cpu.rip = next_rip
+        finally:
+            res.instructions += executed
+            res.cycles += cycles
+            res.calls += calls
+            res.rets += rets
+            res.branches += branches
+            res.icache_hits = cpu.icache.hits
+            res.icache_misses = cpu.icache.misses
+            res.output = cpu.process.output
+
+        res.exit_code = cpu._exit_code
+        cpu.process.exit_code = cpu._exit_code
+        return res
+
+
+def _missing(cpu, memory, address):
+    """Fault path for control flow reaching a non-instruction address.
+
+    Mirrors the reference loop exactly: ``cpu.rip`` rests at the invalid
+    address, a fetch-permission fault (guard page, unmapped, execute-only
+    violation) takes precedence over :class:`InvalidInstruction`.
+    """
+    cpu.rip = address
+    memory.fetch_check(address)
+    raise InvalidInstruction(f"no instruction at {address:#x}")
+
+
+class FastBackend:
+    """Micro-op driver: dispatch over pre-resolved handlers.
+
+    Per instruction the loop does: a memoized fetch-permission check, the
+    budget tick, the i-cache charge over precomputed line spans, the cost
+    accounting (in the reference's float-addition order), and one handler
+    call.  Control flow follows pre-wired ``next_u``/``target`` links, so
+    the common case never consults the instruction index.
+    """
+
+    name = "fast"
+
+    def execute(self, cpu, res):
+        process = cpu.process
+        memory = process.memory
+        program = get_bound_program(process, cpu.costs)
+        index_get = program.index.get
+
+        icache = cpu.icache
+        sets = icache._sets
+        num_sets = icache.num_sets
+        ways = icache.ways
+        miss_penalty = cpu.costs.icache_miss_penalty
+        mem_extra = cpu.costs.mem_operand_extra
+        budget = cpu.instruction_budget
+        trace = cpu.trace_fn
+        count_ops = cpu.count_opcodes
+        opcode_counts = res.opcode_counts
+        attribute = cpu.attribute_tags
+        tag_cycles = res.tag_cycles
+
+        # Handler-visible counters live on the CPU; driver-local ones are
+        # flushed in the ``finally`` exactly like the reference loop.
+        cpu._bk_shadow = cpu.shadow_stack if cpu.shadow_stack_enabled else None
+        cpu._bk_calls = 0
+        cpu._bk_rets = 0
+        cpu._bk_branches = 0
+
+        executed = 0
+        cycles = 0.0
+        hits = 0
+        cache_misses = 0
+        ep = memory.perm_epoch
+
+        u = index_get(cpu.rip)
+        try:
+            if u is None:
+                if not cpu._halted:
+                    _missing(cpu, memory, cpu.rip)
+            else:
+                while True:
+                    try:
+                        if u.fetch_epoch != ep:
+                            memory.fetch_check(u.rip, u.size)
+                            u.fetch_epoch = ep
+
+                        executed += 1
+                        if executed > budget:
+                            raise ExecutionLimitExceeded(
+                                f"budget of {budget} instructions exceeded"
+                            )
+
+                        if trace is not None:
+                            cpu.rip = u.rip
+                            trace(cpu, u.rip, u.instr)
+                            ep = memory.perm_epoch
+
+                        cost = u.base_cost
+                        misses = 0
+                        for line in u.lines:
+                            entries = sets[line % num_sets]
+                            if line in entries:
+                                entries.move_to_end(line)
+                                hits += 1
+                            else:
+                                cache_misses += 1
+                                misses += 1
+                                entries[line] = True
+                                if len(entries) > ways:
+                                    entries.popitem(last=False)
+                        if misses:
+                            cost += misses * miss_penalty
+                        if u.has_mem:
+                            cost += mem_extra
+                        cycles += cost
+                        if attribute and u.tag is not None:
+                            tag_cycles[u.tag] = tag_cycles.get(u.tag, 0.0) + cost
+                        if count_ops:
+                            op = u.op
+                            opcode_counts[op] = opcode_counts.get(op, 0) + 1
+
+                        nxt = u.handler(cpu, u)
+                    except BaseException:
+                        cpu.rip = u.rip
+                        raise
+
+                    if nxt is None:
+                        nu = u.next_u
+                        if nu is None:
+                            _missing(cpu, memory, u.next_rip)
+                        u = nu
+                    elif nxt.__class__ is MicroOp:
+                        u = nxt
+                    elif nxt.__class__ is int:
+                        nu = index_get(nxt)
+                        if nu is None:
+                            _missing(cpu, memory, nxt)
+                        u = nu
+                    elif nxt is HALT:
+                        cpu.rip = u.next_rip
+                        break
+                    else:  # SYNC: a runtime service may have changed mappings
+                        ep = memory.perm_epoch
+                        nu = u.next_u
+                        if nu is None:
+                            _missing(cpu, memory, u.next_rip)
+                        u = nu
+        finally:
+            res.instructions += executed
+            res.cycles += cycles
+            res.calls += cpu._bk_calls
+            res.rets += cpu._bk_rets
+            res.branches += cpu._bk_branches
+            icache.hits += hits
+            icache.misses += cache_misses
+            res.icache_hits = icache.hits
+            res.icache_misses = icache.misses
+            res.output = process.output
+
+        res.exit_code = cpu._exit_code
+        process.exit_code = cpu._exit_code
+        return res
+
+
+DEFAULT_BACKEND = "reference"
+
+BACKENDS: Dict[str, ExecutionBackend] = {
+    "reference": ReferenceBackend(),
+    "fast": FastBackend(),
+}
+
+
+def available_backends():
+    """Names of the registered execution backends, sorted."""
+    return sorted(BACKENDS)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Look up a backend by name; raises MachineError for unknown names."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        known = ", ".join(available_backends())
+        raise MachineError(f"unknown execution backend {name!r} (have: {known})") from None
+
+
+def register_backend(backend: ExecutionBackend) -> None:
+    """Register a custom backend under ``backend.name``."""
+    BACKENDS[backend.name] = backend

@@ -1,11 +1,20 @@
-"""The CPU interpreter: executes decoded instructions with cycle accounting.
+"""The CPU: architectural state, operand evaluation, and backend dispatch.
 
-The interpreter is deliberately faithful on the two points the BTRA scheme
-rests on (``push`` and ``call`` stack semantics — see :mod:`repro.machine.isa`)
-and deliberately simple everywhere else.  It charges every instruction its
-preset base cost, an extra for memory operands, and the i-cache miss
-penalty for the lines its encoding occupies; this is the entire performance
-model behind the Table 1 / Figure 6 reproductions.
+Since the fetch/decode/execute split, this module owns the *state* of the
+machine — registers, flags, the shadow stack, the i-cache, the result
+counters — while the per-instruction interpretation lives in pluggable
+execution backends (:mod:`repro.machine.backends`):
+
+* ``reference`` — the original monolithic interpreter loop, preserved
+  verbatim as the semantic baseline;
+* ``fast`` — per-opcode handler tables over a pre-resolved micro-op
+  stream (:mod:`repro.machine.uops`), decoded once per binary.
+
+Both backends are required to produce byte-identical
+:class:`ExecutionResult` counters and to raise the same faults
+(:class:`BoobyTrapTriggered`, :class:`GuardPageFault`, shadow-stack
+violations, ...) at the same instructions; ``tests/test_backends.py`` and
+the property-based equivalence suite enforce this.
 
 Executed ``TRAP`` instructions raise :class:`BoobyTrapTriggered` — that is a
 booby trap detonating (a BTRA being returned to, or a prolog trap being
@@ -17,41 +26,38 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import (
-    BoobyTrapTriggered,
-    ExecutionLimitExceeded,
-    InvalidInstruction,
-    MachineError,
-    ShadowStackViolation,
-    StackMisaligned,
-)
+from repro.errors import InvalidInstruction, MachineError
 from repro.machine.costs import MachineCosts
 from repro.machine.icache import ICache
-from repro.machine.isa import Imm, Instruction, Mem, Op, Reg, VECTOR_WORDS, WORD
+from repro.machine.isa import Imm, Mem, Op, Reg
 from repro.machine.process import Process
+from repro.numeric import (  # re-exported for backward compatibility
+    MASK64,
+    SIGN_BIT,
+    to_signed,
+    to_unsigned,
+    truncated_div,
+)
 
-MASK64 = (1 << 64) - 1
-SIGN_BIT = 1 << 63
-
-
-def to_signed(value: int) -> int:
-    """Interpret a 64-bit unsigned value as signed."""
-    return value - (1 << 64) if value & SIGN_BIT else value
-
-
-def to_unsigned(value: int) -> int:
-    return value & MASK64
-
-
-def truncated_div(dividend: int, divisor: int) -> int:
-    """Exact signed division truncating toward zero (C semantics)."""
-    quotient = abs(dividend) // abs(divisor)
-    return -quotient if (dividend < 0) != (divisor < 0) else quotient
+__all__ = [
+    "CPU",
+    "ExecutionResult",
+    "MASK64",
+    "SIGN_BIT",
+    "to_signed",
+    "to_unsigned",
+    "truncated_div",
+]
 
 
 @dataclass
 class ExecutionResult:
-    """Counters and outputs from one program run."""
+    """Counters and outputs from one program run.
+
+    Every field is backend-invariant: the ``reference`` and ``fast``
+    backends fill identical values (including ``opcode_counts`` and
+    ``tag_cycles``) for the same program and seed.
+    """
 
     exit_code: int = 0
     instructions: int = 0
@@ -74,7 +80,12 @@ class ExecutionResult:
 
 
 class CPU:
-    """Interprets a loaded :class:`Process` under a :class:`MachineCosts` model."""
+    """Machine state for one run of a :class:`Process` under a cost model.
+
+    ``backend`` selects the execution backend by name (see
+    :mod:`repro.machine.backends`); the default ``"reference"`` is the
+    original interpreter loop.
+    """
 
     def __init__(
         self,
@@ -87,6 +98,7 @@ class CPU:
         trace_fn=None,
         shadow_stack: bool = False,
         attribute_tags: bool = False,
+        backend: str = "reference",
     ):
         self.process = process
         self.costs = costs
@@ -104,6 +116,7 @@ class CPU:
         #: called before execution.  Debugging/analysis only (it sees the
         #: machine state the instruction will observe).
         self.trace_fn = trace_fn
+        self.backend_name = backend
         self.icache = ICache(costs.icache_size, costs.icache_line, costs.icache_ways)
         self.regs: List[int] = [0] * 16
         self.regs[Reg.RSP] = process.layout.stack_top & ~0xF
@@ -159,6 +172,8 @@ class CPU:
         partially filled ``result`` can be passed in by callers that want
         counters even when the run crashes.
         """
+        from repro.machine.backends import get_backend
+
         if entry is None:
             entry = self.process.entry_point
         if entry is None:
@@ -166,225 +181,7 @@ class CPU:
         res = result if result is not None else ExecutionResult()
         self.rip = entry
         self._halted = False
-
-        # Local bindings for the hot loop.
-        instructions = self.process.instructions
-        op_costs = self.costs.op_costs
-        mem_extra = self.costs.mem_operand_extra
-        miss_penalty = self.costs.icache_miss_penalty
-        icache_access = self.icache.access
-        regs = self.regs
-        memory = self.process.memory
-        budget = self.instruction_budget
-        count_ops = self.count_opcodes
-        shadow = self.shadow_stack if self.shadow_stack_enabled else None
-        attribute = self.attribute_tags
-        tag_cycles = res.tag_cycles
-
-        executed = 0
-        cycles = 0.0
-        calls = 0
-        rets = 0
-        branches = 0
-
-        try:
-            while not self._halted:
-                rip = self.rip
-                instr = instructions.get(rip)
-                if instr is None:
-                    memory.fetch_check(rip)
-                    raise InvalidInstruction(f"no instruction at {rip:#x}")
-                memory.fetch_check(rip, instr.size)
-
-                executed += 1
-                if executed > budget:
-                    raise ExecutionLimitExceeded(f"budget of {budget} instructions exceeded")
-
-                if self.trace_fn is not None:
-                    self.trace_fn(self, rip, instr)
-
-                op = instr.op
-                cost = op_costs[op]
-                misses = icache_access(rip, instr.size)
-                if misses:
-                    cost += misses * miss_penalty
-                if isinstance(instr.a, Mem) or isinstance(instr.b, Mem):
-                    cost += mem_extra
-                cycles += cost
-                if attribute and instr.tag is not None:
-                    tag_cycles[instr.tag] = tag_cycles.get(instr.tag, 0.0) + cost
-                if count_ops:
-                    res.opcode_counts[op] = res.opcode_counts.get(op, 0) + 1
-
-                next_rip = rip + instr.size
-
-                if op is Op.MOV:
-                    self._write_operand(instr.a, self._read_operand(instr.b))
-                elif op is Op.PUSH:
-                    rsp = (regs[Reg.RSP] - WORD) & MASK64
-                    regs[Reg.RSP] = rsp
-                    memory.write_word(rsp, self._read_operand(instr.a))
-                elif op is Op.POP:
-                    rsp = regs[Reg.RSP]
-                    self._write_operand(instr.a, memory.read_word(rsp))
-                    regs[Reg.RSP] = (rsp + WORD) & MASK64
-                elif op is Op.ADD:
-                    self._write_operand(
-                        instr.a, self._read_operand(instr.a) + self._read_operand(instr.b)
-                    )
-                elif op is Op.SUB:
-                    self._write_operand(
-                        instr.a, self._read_operand(instr.a) - self._read_operand(instr.b)
-                    )
-                elif op is Op.IMUL:
-                    self._write_operand(
-                        instr.a,
-                        to_signed(self._read_operand(instr.a)) * to_signed(self._read_operand(instr.b)),
-                    )
-                elif op is Op.IDIV:
-                    divisor = to_signed(self._read_operand(instr.b))
-                    if divisor == 0:
-                        raise MachineError(f"division by zero at {rip:#x}")
-                    dividend = to_signed(self._read_operand(instr.a))
-                    self._write_operand(instr.a, truncated_div(dividend, divisor))
-                elif op is Op.AND:
-                    self._write_operand(
-                        instr.a, self._read_operand(instr.a) & self._read_operand(instr.b)
-                    )
-                elif op is Op.OR:
-                    self._write_operand(
-                        instr.a, self._read_operand(instr.a) | self._read_operand(instr.b)
-                    )
-                elif op is Op.XOR:
-                    self._write_operand(
-                        instr.a, self._read_operand(instr.a) ^ self._read_operand(instr.b)
-                    )
-                elif op is Op.SHL:
-                    self._write_operand(
-                        instr.a, self._read_operand(instr.a) << (self._read_operand(instr.b) & 63)
-                    )
-                elif op is Op.SHR:
-                    self._write_operand(
-                        instr.a, (self._read_operand(instr.a) & MASK64) >> (self._read_operand(instr.b) & 63)
-                    )
-                elif op is Op.NEG:
-                    self._write_operand(instr.a, -self._read_operand(instr.a))
-                elif op is Op.LEA:
-                    if not isinstance(instr.b, Mem):
-                        raise InvalidInstruction("lea requires a memory operand")
-                    self._write_operand(instr.a, self._mem_address(instr.b))
-                elif op is Op.CMP:
-                    self._cmp = to_signed(self._read_operand(instr.a)) - to_signed(
-                        self._read_operand(instr.b)
-                    )
-                elif op is Op.TEST:
-                    self._cmp = to_signed(
-                        self._read_operand(instr.a) & self._read_operand(instr.b)
-                    )
-                elif op is Op.SETE:
-                    self._write_operand(instr.a, 1 if self._cmp == 0 else 0)
-                elif op is Op.SETNE:
-                    self._write_operand(instr.a, 1 if self._cmp != 0 else 0)
-                elif op is Op.SETL:
-                    self._write_operand(instr.a, 1 if self._cmp < 0 else 0)
-                elif op is Op.SETLE:
-                    self._write_operand(instr.a, 1 if self._cmp <= 0 else 0)
-                elif op is Op.SETG:
-                    self._write_operand(instr.a, 1 if self._cmp > 0 else 0)
-                elif op is Op.SETGE:
-                    self._write_operand(instr.a, 1 if self._cmp >= 0 else 0)
-                elif op is Op.JMP:
-                    next_rip = self._branch_target(instr.a)
-                    branches += 1
-                elif op is Op.JE:
-                    branches += 1
-                    if self._cmp == 0:
-                        next_rip = self._branch_target(instr.a)
-                elif op is Op.JNE:
-                    branches += 1
-                    if self._cmp != 0:
-                        next_rip = self._branch_target(instr.a)
-                elif op is Op.JL:
-                    branches += 1
-                    if self._cmp < 0:
-                        next_rip = self._branch_target(instr.a)
-                elif op is Op.JLE:
-                    branches += 1
-                    if self._cmp <= 0:
-                        next_rip = self._branch_target(instr.a)
-                elif op is Op.JG:
-                    branches += 1
-                    if self._cmp > 0:
-                        next_rip = self._branch_target(instr.a)
-                elif op is Op.JGE:
-                    branches += 1
-                    if self._cmp >= 0:
-                        next_rip = self._branch_target(instr.a)
-                elif op is Op.CALL:
-                    if self.check_alignment and regs[Reg.RSP] % 16 != 0:
-                        raise StackMisaligned(
-                            f"rsp={regs[Reg.RSP]:#x} not 16-byte aligned at call ({rip:#x})"
-                        )
-                    target = self._branch_target(instr.a)
-                    rsp = (regs[Reg.RSP] - WORD) & MASK64
-                    regs[Reg.RSP] = rsp
-                    memory.write_word(rsp, next_rip)
-                    if shadow is not None:
-                        shadow.append(next_rip)
-                    next_rip = target
-                    calls += 1
-                elif op is Op.RET:
-                    rsp = regs[Reg.RSP]
-                    next_rip = memory.read_word(rsp)
-                    regs[Reg.RSP] = (rsp + WORD) & MASK64
-                    if shadow is not None:
-                        expected = shadow.pop() if shadow else 0
-                        if expected != next_rip:
-                            raise ShadowStackViolation(expected, next_rip)
-                    rets += 1
-                elif op is Op.NOP:
-                    pass
-                elif op is Op.TRAP:
-                    raise BoobyTrapTriggered(rip)
-                elif op is Op.VLOAD or op is Op.VLOAD512:
-                    if not isinstance(instr.b, Mem):
-                        raise InvalidInstruction("vload requires a memory source")
-                    nbytes = WORD * (VECTOR_WORDS if op is Op.VLOAD else 2 * VECTOR_WORDS)
-                    data = memory.read(self._mem_address(instr.b), nbytes)
-                    self.vregs[instr.a - Reg.YMM0] = data
-                elif op is Op.VSTORE or op is Op.VSTORE512:
-                    if not isinstance(instr.a, Mem):
-                        raise InvalidInstruction("vstore requires a memory destination")
-                    memory.write(self._mem_address(instr.a), self.vregs[instr.b - Reg.YMM0])
-                elif op is Op.VZEROUPPER:
-                    pass
-                elif op is Op.CALLRT:
-                    if not isinstance(instr.a, Imm) or instr.a.symbol is None:
-                        raise InvalidInstruction("callrt requires a service name")
-                    fn = self.process.service(instr.a.symbol)
-                    regs[Reg.RAX] = fn(self.process, self) & MASK64
-                elif op is Op.OUT:
-                    self.process.output.append(self._read_operand(instr.a))
-                elif op is Op.EXIT:
-                    self._exit_code = self._read_operand(instr.a) if instr.a is not None else 0
-                    self._halted = True
-                else:  # pragma: no cover - exhaustive over Op
-                    raise InvalidInstruction(f"unimplemented opcode {op}")
-
-                self.rip = next_rip
-        finally:
-            res.instructions += executed
-            res.cycles += cycles
-            res.calls += calls
-            res.rets += rets
-            res.branches += branches
-            res.icache_hits = self.icache.hits
-            res.icache_misses = self.icache.misses
-            res.output = self.process.output
-
-        res.exit_code = self._exit_code
-        self.process.exit_code = self._exit_code
-        return res
+        return get_backend(self.backend_name).execute(self, res)
 
     def _branch_target(self, operand) -> int:
         if isinstance(operand, Imm):

@@ -77,6 +77,10 @@ class Memory:
 
     def __init__(self) -> None:
         self._pages: Dict[int, _Page] = {}
+        # Monotonic permission epoch: bumped by every map/unmap/protect so
+        # execution backends may memoize per-address fetch-permission checks
+        # and revalidate only when the permission landscape actually moved.
+        self.perm_epoch = 0
         # Pages actually touched by any access — the resident set.  Mapping
         # a region does not make it resident (demand paging), which is what
         # lets the maxrss experiment of Section 6.2.5 distinguish BTDP guard
@@ -87,12 +91,14 @@ class Memory:
 
     def map_region(self, address: int, size: int, perm: Perm) -> None:
         """Map ``size`` bytes at ``address`` (page-granular) with ``perm``."""
+        self.perm_epoch += 1
         for base in page_range(address, size):
             if base in self._pages:
                 raise MemoryFault("write", base, "already mapped")
             self._pages[base] = _Page(perm)
 
     def unmap_region(self, address: int, size: int) -> None:
+        self.perm_epoch += 1
         for base in page_range(address, size):
             self._pages.pop(base, None)
 
@@ -102,6 +108,7 @@ class Memory:
         ``guard=True`` marks the pages as booby-trap guard pages so that
         faults on them are classified as detections.
         """
+        self.perm_epoch += 1
         for base in page_range(address, size):
             page = self._pages.get(base)
             if page is None:

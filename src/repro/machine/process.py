@@ -124,6 +124,9 @@ class Process:
         self.exit_code: Optional[int] = None
         self._services: Dict[str, RuntimeService] = {}
         self._peak_resident = 0
+        # Bound micro-op programs, one per cost model, filled lazily by
+        # repro.machine.uops.get_bound_program for the fast backend.
+        self.uop_programs: Dict[int, tuple] = {}
         # Set by the loader:
         self.binary = None  # the Binary this process was loaded from
         self.allocator = None  # repro.heap.Allocator over the heap region

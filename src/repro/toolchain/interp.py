@@ -18,25 +18,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ToolchainError
+from repro.numeric import MASK64, SIGN_BIT, to_signed as _signed, truncated_div as _tdiv
 from repro.toolchain.ir import Function, Module
-
-MASK64 = (1 << 64) - 1
-SIGN_BIT = 1 << 63
 
 _LOCAL_BASE = 0x1000_0000_0000
 _GLOBAL_BASE = 0x2000_0000_0000
 _HEAP_BASE = 0x3000_0000_0000
 WORD = 8
-
-
-def _signed(v: int) -> int:
-    return v - (1 << 64) if v & SIGN_BIT else v
-
-
-def _tdiv(a: int, b: int) -> int:
-    """Exact signed division truncating toward zero (C semantics)."""
-    q = abs(a) // abs(b)
-    return -q if (a < 0) != (b < 0) else q
 
 
 class InterpError(ToolchainError):

@@ -29,7 +29,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Union
 
-from repro.toolchain.interp import Interpreter, MASK64, _signed
+from repro.numeric import MASK64, to_signed as _signed
+from repro.toolchain.interp import Interpreter
 from repro.toolchain.ir import BasicBlock, Function, IRInstr, Module
 
 Operand = Union[str, int]

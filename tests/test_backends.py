@@ -1,0 +1,418 @@
+"""Differential tests for the execution backends.
+
+The fetch/decode/execute split (DESIGN.md) requires the ``fast``
+micro-op backend to be observationally indistinguishable from the
+``reference`` interpreter loop: identical :class:`ExecutionResult`
+counters (cycles, opcode counts, tag attribution, i-cache hits/misses),
+identical faults (type, message, and faulting ``cpu.rip``) — even for
+runs that crash mid-program — plus identical trace-hook and debugger
+behaviour.  These tests drive both backends over the same programs and
+compare everything.
+
+The decode stage itself is also covered: a binary is decoded into
+micro-ops exactly once per content fingerprint, however many times it is
+loaded.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.compiler import compile_module
+from repro.core.config import R2CConfig
+from repro.errors import (
+    BoobyTrapTriggered,
+    ExecutionLimitExceeded,
+    GuardPageFault,
+    InvalidInstruction,
+    MachineError,
+    MemoryFault,
+    ShadowStackViolation,
+    StackMisaligned,
+)
+from repro.machine.backends import available_backends, get_backend
+from repro.machine.costs import get_costs
+from repro.machine.cpu import CPU, ExecutionResult
+from repro.machine.debugger import Debugger
+from repro.machine.isa import Imm, Instruction, Mem, Op, Reg
+from repro.machine.loader import load_binary
+from repro.machine.memory import Perm
+from repro.machine.uops import DECODE_STATS, clear_decode_cache, get_bound_program
+from repro.machine.process import AddressSpaceLayout, Process
+
+from tests.conftest import FULL_CONFIGS
+
+I = Instruction
+
+TEXT = 0x5555_0000_0000
+DATA = 0x5555_0010_0000
+HEAP = 0x6200_0000_0000
+STACK = 0x7FFC_0000_0000
+
+BACKENDS = ("reference", "fast")
+
+
+def assemble(instrs, *, execute_only=True):
+    layout = AddressSpaceLayout(
+        text_base=TEXT,
+        text_size=0x10000,
+        data_base=DATA,
+        data_size=0x10000,
+        heap_base=HEAP,
+        heap_size=0x10000,
+        stack_base=STACK,
+        stack_size=0x10000,
+    )
+    process = Process(layout, execute_only_text=execute_only)
+    addr = TEXT
+    addresses = []
+    for instr in instrs:
+        process.place_instruction(addr, instr)
+        addresses.append(addr)
+        addr += instr.size
+    process.entry_point = TEXT
+    return process, addresses
+
+
+def run_one_backend(make_process, backend, **cpu_kwargs):
+    """Run ``make_process()`` under ``backend``; capture result and fault."""
+    process = make_process()
+    res = ExecutionResult()
+    cpu = CPU(process, get_costs("epyc-rome"), backend=backend, **cpu_kwargs)
+    error = None
+    try:
+        cpu.run(result=res)
+    except Exception as exc:  # noqa: BLE001 - faults are the subject here
+        error = (type(exc), str(exc))
+    return {
+        "result": dataclasses.asdict(res),
+        "error": error,
+        "rip": cpu.rip,
+        "regs": list(cpu.regs),
+        "shadow": list(cpu.shadow_stack),
+        "exit_code": process.exit_code,
+    }
+
+
+def compare_backends(make_process, **cpu_kwargs):
+    """Assert both backends observe the identical machine trajectory."""
+    reference = run_one_backend(make_process, "reference", **cpu_kwargs)
+    fast = run_one_backend(make_process, "fast", **cpu_kwargs)
+    assert reference == fast
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# Clean runs: counters must match field-for-field.
+# ---------------------------------------------------------------------------
+
+
+def test_counters_identical_on_straight_line_code():
+    def make():
+        process, _ = assemble(
+            [
+                I(Op.MOV, Reg.RAX, Imm(40)),
+                I(Op.MOV, Reg.RBX, Imm(2)),
+                I(Op.ADD, Reg.RAX, Reg.RBX),
+                I(Op.PUSH, Reg.RAX),
+                I(Op.POP, Reg.RCX),
+                I(Op.OUT, Reg.RCX),
+                I(Op.EXIT, Imm(0)),
+            ]
+        )
+        return process
+
+    outcome = compare_backends(make, count_opcodes=True)
+    assert outcome["error"] is None
+    assert outcome["result"]["output"] == [42]
+
+
+def test_counters_identical_on_compiled_workloads(simple_module):
+    for name, config in FULL_CONFIGS.items():
+        binary = compile_module(simple_module, config)
+
+        def make():
+            process = load_binary(binary, seed=1)
+            process.register_service("attack_hook", lambda proc, cpu: 0)
+            return process
+
+        outcome = compare_backends(make, count_opcodes=True, attribute_tags=True)
+        assert outcome["error"] is None, (name, outcome["error"])
+        assert outcome["result"]["instructions"] > 0
+
+
+def test_cycles_are_float_identical(simple_module):
+    """Cost addition order is preserved, so float cycles match exactly."""
+    binary = compile_module(simple_module, R2CConfig.full(seed=5))
+    totals = {}
+    for backend in BACKENDS:
+        process = load_binary(binary, seed=1)
+        process.register_service("attack_hook", lambda proc, cpu: 0)
+        result = CPU(process, get_costs("i9-9900k"), backend=backend).run()
+        totals[backend] = result.cycles
+    assert totals["reference"] == totals["fast"]
+
+
+# ---------------------------------------------------------------------------
+# Fault equivalence: type, message, faulting rip, and partial counters.
+# ---------------------------------------------------------------------------
+
+
+def test_booby_trap_identical():
+    def make():
+        process, _ = assemble([I(Op.NOP), I(Op.TRAP), I(Op.EXIT, Imm(0))])
+        return process
+
+    outcome = compare_backends(make)
+    assert outcome["error"][0] is BoobyTrapTriggered
+    assert outcome["result"]["instructions"] == 2  # NOP + the trap itself
+
+
+def test_shadow_stack_violation_identical():
+    def make():
+        instrs = [
+            I(Op.CALL, Imm(0)),
+            I(Op.EXIT, Imm(0)),
+            # callee: overwrite the return address, then return.
+            I(Op.MOV, Mem(Reg.RSP), Imm(0x1234)),
+            I(Op.RET),
+        ]
+        process, addresses = assemble(instrs)
+        instrs[0].a = Imm(addresses[2])
+        return process
+
+    outcome = compare_backends(make, shadow_stack=True)
+    assert outcome["error"][0] is ShadowStackViolation
+    assert outcome["result"]["rets"] == 0  # violating ret is not counted
+
+
+def test_budget_exhaustion_identical():
+    def make():
+        instrs = [I(Op.JMP, Imm(0))]
+        process, addresses = assemble(instrs)
+        instrs[0].a = Imm(addresses[0])
+        return process
+
+    outcome = compare_backends(make, instruction_budget=75)
+    assert outcome["error"][0] is ExecutionLimitExceeded
+    assert outcome["result"]["instructions"] == 76
+
+
+def test_division_by_zero_identical():
+    def make():
+        process, _ = assemble(
+            [
+                I(Op.MOV, Reg.RAX, Imm(1)),
+                I(Op.MOV, Reg.RBX, Imm(0)),
+                I(Op.IDIV, Reg.RAX, Reg.RBX),
+                I(Op.EXIT, Imm(0)),
+            ]
+        )
+        return process
+
+    outcome = compare_backends(make)
+    assert outcome["error"][0] is MachineError
+    assert "division by zero" in outcome["error"][1]
+
+
+def test_stack_misalignment_identical():
+    def make():
+        instrs = [
+            I(Op.PUSH, Imm(1)),
+            I(Op.CALL, Imm(0)),
+            I(Op.EXIT, Imm(0)),
+            I(Op.RET),
+        ]
+        process, addresses = assemble(instrs)
+        instrs[1].a = Imm(addresses[3])
+        return process
+
+    outcome = compare_backends(make)
+    assert outcome["error"][0] is StackMisaligned
+
+
+def test_fetch_from_data_identical():
+    def make():
+        process, _ = assemble([I(Op.JMP, Imm(DATA)), I(Op.EXIT, Imm(0))])
+        return process
+
+    outcome = compare_backends(make)
+    assert outcome["error"][0] is MemoryFault
+    assert outcome["rip"] == DATA  # rip rests at the invalid target
+
+
+def test_jump_into_instruction_middle_identical():
+    """Executable bytes with no decoded instruction: InvalidInstruction."""
+
+    def make():
+        instrs = [I(Op.JMP, Imm(0)), I(Op.EXIT, Imm(0))]
+        process, addresses = assemble(instrs)
+        instrs[0].a = Imm(addresses[1] + 1)
+        return process
+
+    outcome = compare_backends(make)
+    assert outcome["error"][0] is InvalidInstruction
+    assert "no instruction at" in outcome["error"][1]
+
+
+def test_guard_page_dereference_identical():
+    def make():
+        process, _ = assemble(
+            [
+                I(Op.MOV, Reg.RAX, Imm(HEAP)),
+                I(Op.MOV, Reg.RBX, Mem(Reg.RAX)),
+                I(Op.EXIT, Imm(0)),
+            ]
+        )
+        process.memory.protect(HEAP, 4096, Perm.NONE, guard=True)
+        return process
+
+    outcome = compare_backends(make)
+    assert outcome["error"][0] is GuardPageFault
+
+
+def test_runtime_service_changing_permissions_identical():
+    """A CALLRT service may remap pages; the fast backend must revalidate
+    its memoized fetch checks afterwards (the SYNC/perm-epoch path)."""
+
+    def make():
+        process, _ = assemble(
+            [
+                I(Op.CALLRT, Imm(symbol="lockdown")),
+                I(Op.MOV, Reg.RAX, Imm(HEAP)),
+                I(Op.MOV, Reg.RBX, Mem(Reg.RAX)),
+                I(Op.EXIT, Imm(0)),
+            ]
+        )
+
+        def lockdown(proc, cpu):
+            proc.memory.protect(HEAP, 4096, Perm.NONE, guard=True)
+            return 0
+
+        process.register_service("lockdown", lockdown)
+        return process
+
+    outcome = compare_backends(make)
+    assert outcome["error"][0] is GuardPageFault
+
+
+# ---------------------------------------------------------------------------
+# Trace hooks and the debugger ride on either backend.
+# ---------------------------------------------------------------------------
+
+
+def test_trace_fn_sees_identical_stream():
+    streams = {}
+    for backend in BACKENDS:
+        seen = []
+        process, _ = assemble(
+            [
+                I(Op.MOV, Reg.RAX, Imm(7)),
+                I(Op.OUT, Reg.RAX),
+                I(Op.EXIT, Imm(0)),
+            ]
+        )
+        cpu = CPU(
+            process,
+            get_costs("epyc-rome"),
+            backend=backend,
+            trace_fn=lambda c, rip, ins: seen.append((rip, ins.op, c.rip)),
+        )
+        cpu.run()
+        streams[backend] = seen
+    assert streams["reference"] == streams["fast"]
+    # The hook observes cpu.rip parked on the traced instruction.
+    assert all(rip == cur for rip, _, cur in streams["fast"])
+
+
+def test_debugger_breakpoints_work_on_fast_backend():
+    states = {}
+    for backend in BACKENDS:
+        instrs = [
+            I(Op.MOV, Reg.RAX, Imm(1)),
+            I(Op.ADD, Reg.RAX, Imm(2)),
+            I(Op.OUT, Reg.RAX),
+            I(Op.EXIT, Imm(0)),
+        ]
+        process, addresses = assemble(instrs)
+        cpu = CPU(process, get_costs("epyc-rome"), backend=backend)
+        debugger = Debugger(cpu)
+        debugger.add_breakpoint(addresses[2])
+        assert not debugger.cont()  # stopped at the OUT
+        at_break = (cpu.rip, cpu.regs[Reg.RAX])
+        assert debugger.cont()  # runs to completion
+        states[backend] = (at_break, debugger.result.exit_code, list(process.output))
+    assert states["reference"] == states["fast"]
+
+
+# ---------------------------------------------------------------------------
+# The decode stage: one decode per binary fingerprint, one bind per
+# (process, cost model).
+# ---------------------------------------------------------------------------
+
+
+def test_binary_decoded_once_per_fingerprint(simple_module):
+    config = R2CConfig.full(seed=9)
+    first = compile_module(simple_module, config)
+    second = compile_module(simple_module, config)
+    assert first is not second
+    assert first.module_fingerprint == second.module_fingerprint
+
+    clear_decode_cache()
+    for binary in (first, second, first):
+        process = load_binary(binary, seed=1)
+        process.register_service("attack_hook", lambda proc, cpu: 0)
+        CPU(process, get_costs("epyc-rome"), backend="fast").run()
+    assert DECODE_STATS["decodes"] == 1
+    assert DECODE_STATS["cache_hits"] == 2
+
+
+def test_distinct_configs_decode_separately(simple_module):
+    clear_decode_cache()
+    for seed in (1, 2):
+        binary = compile_module(simple_module, R2CConfig.full(seed=seed))
+        process = load_binary(binary, seed=1)
+        process.register_service("attack_hook", lambda proc, cpu: 0)
+        CPU(process, get_costs("epyc-rome"), backend="fast").run()
+    assert DECODE_STATS["decodes"] == 2
+
+
+def test_bound_program_cached_per_process_and_costs():
+    process, _ = assemble([I(Op.NOP), I(Op.EXIT, Imm(0))])
+    costs = get_costs("epyc-rome")
+    program = get_bound_program(process, costs)
+    assert get_bound_program(process, costs) is program
+    other = get_bound_program(process, get_costs("xeon"))
+    assert other is not program
+    assert program.entry_count == 2
+
+
+def test_rerunning_same_process_reuses_bound_program():
+    process, _ = assemble(
+        [I(Op.MOV, Reg.RAX, Imm(3)), I(Op.OUT, Reg.RAX), I(Op.EXIT, Imm(0))]
+    )
+    costs = get_costs("epyc-rome")
+    cpu = CPU(process, costs, backend="fast")
+    cpu.run()
+    assert len(process.uop_programs) == 1
+    CPU(process, costs, backend="fast").run()
+    assert len(process.uop_programs) == 1
+
+
+# ---------------------------------------------------------------------------
+# Backend registry.
+# ---------------------------------------------------------------------------
+
+
+def test_backend_registry():
+    assert set(BACKENDS) <= set(available_backends())
+    assert get_backend("fast").name == "fast"
+    with pytest.raises(MachineError):
+        get_backend("warp-drive")
+
+
+def test_unknown_backend_fails_at_run():
+    process, _ = assemble([I(Op.EXIT, Imm(0))])
+    cpu = CPU(process, get_costs("epyc-rome"), backend="bogus")
+    with pytest.raises(MachineError):
+        cpu.run()

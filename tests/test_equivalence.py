@@ -15,7 +15,7 @@ from repro.core.config import R2CConfig
 from repro.rng import DiversityRng
 from repro.toolchain.builder import IRBuilder
 from repro.toolchain.interp import interpret_module
-from tests.conftest import assert_equivalent
+from tests.conftest import assert_equivalent, run_compiled
 
 
 def generate_random_module(seed: int) -> object:
@@ -143,3 +143,29 @@ def test_generator_is_deterministic():
     a = generate_random_module(1234)
     b = generate_random_module(1234)
     assert interpret_module(a) == interpret_module(b)
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    program_seed=st.integers(min_value=0, max_value=10**6),
+    config_seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_backends_agree_on_random_programs(program_seed, config_seed):
+    """The fast micro-op backend is observationally identical to the
+    reference loop — full ExecutionResult, not just exit/output — for any
+    generated program under baseline and fully diversified builds."""
+    import dataclasses
+
+    module = generate_random_module(program_seed)
+    for config in (R2CConfig.baseline(), R2CConfig.full(seed=config_seed)):
+        results = {}
+        for backend in ("reference", "fast"):
+            result, _ = run_compiled(
+                module,
+                config,
+                backend=backend,
+                count_opcodes=True,
+                attribute_tags=True,
+            )
+            results[backend] = dataclasses.asdict(result)
+        assert results["reference"] == results["fast"]
