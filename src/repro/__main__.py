@@ -7,6 +7,7 @@ Usage::
     python -m repro figure6 --jobs 4     # fan runs out over 4 processes
     python -m repro table2 table3 ...    # any subset, in order
     python -m repro all --quick --jobs 4 # everything, reduced inputs
+    python -m repro lint --corpus spec   # static verification sweep
 
 ``--quick`` shrinks benchmark subsets and seed counts so a full pass
 finishes in a couple of minutes; omit it for the benchmark-suite-sized
@@ -107,6 +108,79 @@ def run_decomposition(quick: bool) -> str:
     return report.render_decomposition(data)
 
 
+def run_lint_command(args) -> int:
+    """``python -m repro lint``: the static verification sweep.
+
+    Exits 1 on any finding, so CI can gate on it directly.
+    """
+    from repro.analysis.lint import run_lint
+
+    started = time.perf_counter()
+    lint_report = run_lint(
+        args.corpus,
+        seeds=args.seeds,
+        config=args.config,
+        quick=args.quick,
+        run=args.run,
+    )
+    print(report.render_lint(lint_report))
+    print(f"[{time.perf_counter() - started:.1f}s]")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(lint_report.to_json() + "\n")
+        print(f"[findings report -> {args.out}]")
+    return 0 if lint_report.ok else 1
+
+
+def lint_main(argv) -> int:
+    from repro.analysis.lint import CONFIGS, CORPORA
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Statically verify compiled corpora: IR well-formedness, "
+        "stack/unwind invariants, BTRA/BTDP/trap placement, and "
+        "diversification entropy.",
+    )
+    parser.add_argument(
+        "--corpus", default="spec", choices=CORPORA, help="corpus to verify"
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, metavar="N", help="seeds per module (default: 3)"
+    )
+    parser.add_argument(
+        "--config",
+        default="full",
+        choices=sorted(CONFIGS),
+        help="diversification config to verify under (default: full)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced corpus sizes for CI smoke legs"
+    )
+    parser.add_argument(
+        "--run",
+        action="store_true",
+        help="also execute each cell with RunRequest.verify set",
+    )
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help="execution backend for --run cells",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes for --run cells"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="write the findings report as JSON"
+    )
+    args = parser.parse_args(argv)
+    engine = set_session_engine(ExperimentEngine(jobs=args.jobs, backend=args.backend))
+    try:
+        return run_lint_command(args)
+    finally:
+        engine.close()
+
+
 EXPERIMENTS = {
     "table1": (run_table1, "Table 1: component overheads"),
     "table2": (run_table2, "Table 2: call frequencies"),
@@ -123,6 +197,12 @@ EXPERIMENTS = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # lint has its own flag set (corpus/seeds/config), so it gets its
+        # own parser instead of riding the experiment options.
+        return lint_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the R2C paper's tables and figures.",
@@ -160,6 +240,7 @@ def main(argv=None) -> int:
     if args.experiments == ["list"]:
         for name, (_, title) in EXPERIMENTS.items():
             print(f"  {name:13s} {title}")
+        print(f"  {'lint':13s} Static verification sweep (own flags; see lint --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments

@@ -1,0 +1,57 @@
+"""Static verification layer: IR verifier, binary checker, entropy audit.
+
+The subsystem has three provers and one knob:
+
+* :func:`verify_module` — IR well-formedness + def-before-use dataflow;
+* :func:`verify_binary` / :func:`verify_loaded` — the binary invariant
+  checker (stack-depth abstract interpretation, unwind cross-checks, and
+  the R2C-specific BTRA/BTDP/trap proofs);
+* :mod:`repro.analysis.entropy` — does diversification diversify;
+* the *session verify default* — whether the compiler runs the checkers
+  as a post-condition hook after every build.  Off in normal use (lint
+  and the engine verify explicitly), on across the test suite via
+  ``conftest``, and overridable per-compilation with ``R2CConfig.verify``
+  or globally with the ``R2C_VERIFY`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.binverify import verify_binary, verify_loaded
+from repro.analysis.findings import (
+    RULES,
+    Finding,
+    FindingsReport,
+    VerificationError,
+    fail,
+)
+from repro.analysis.irverify import verify_module
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "FindingsReport",
+    "VerificationError",
+    "fail",
+    "verify_module",
+    "verify_binary",
+    "verify_loaded",
+    "default_verify",
+    "set_default_verify",
+]
+
+_default_verify: bool = os.environ.get("R2C_VERIFY", "") not in ("", "0")
+
+
+def default_verify() -> bool:
+    """Whether compilations verify when ``R2CConfig.verify`` is ``None``."""
+    return _default_verify
+
+
+def set_default_verify(value: bool) -> bool:
+    """Set the session verify default; returns the previous value."""
+    global _default_verify
+    previous = _default_verify
+    _default_verify = bool(value)
+    return previous

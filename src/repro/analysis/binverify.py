@@ -1,0 +1,909 @@
+"""Binary invariant checker: abstract interpretation over linked binaries.
+
+Recovers each function's CFG from the text stream (the same decoding
+:mod:`repro.toolchain.disasm` renders) and runs a symbolic stack-depth
+abstract interpreter over every path:
+
+* **push/pop/rsp balance** — depth returns to zero at every ``ret``, never
+  goes negative, and agrees at every control-flow join (STACK001/003);
+* **calling-convention conformance** — rsp is 16-byte aligned at every
+  call (STACK002, mirroring the CPU's dynamic check), and direct call
+  targets are real function entries (CALL001) with call-site records
+  (CALL002), matching :mod:`repro.toolchain.callconv`;
+* **.eh_frame cross-check** — the frame record's ``frame_bytes`` and
+  ``post_offset`` must equal the computed prologue depth, and every
+  call-site record's ``pre_words``/``cleanup_words`` must equal the
+  computed depth at its call (UNWIND001/002/003), proving the metadata
+  :mod:`repro.toolchain.unwind` consumes is sufficient to unwind;
+* **the R2C-specific core** — per call site, the BTRA setup writes the
+  *real* return address into the slot ``ret`` will consume (BTRA001),
+  every booby-trapped return address lands on a trap instruction inside a
+  booby-trap body (BTRA002), the recorded pre/post counts actually
+  bracket the return address (BTRA003), prolog traps and NOP sleds land
+  where the plan says (TRAP001/NOP001), and BTDP prologue writes draw
+  from in-bounds array indices (BTDP001/003).
+
+:func:`verify_loaded` adds the one invariant that only exists after the
+runtime constructor ran: every BTDP array entry (and data-section decoy)
+points into a guard page (BTDP002).
+
+The checker reads only defender-side artifacts — the binary, its frame
+and call-site records, and the plan stamped into ``binary.metadata`` —
+never the RNG streams that produced them.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import FindingsReport
+from repro.machine.isa import (
+    Imm,
+    Instruction,
+    JCC_OPS,
+    Mem,
+    Op,
+    Reg,
+    WORD,
+)
+from repro.toolchain.binary import Binary, CallSiteRecord, FrameRecord
+from repro.toolchain.plan import ModulePlan
+
+_START = "_start"
+
+#: {id(binary): reloc map} memo — Binary is an unhashable dataclass, so
+#: the key is its id, kept honest by a weakref finalizer on the binary.
+_RELOC_MAPS: Dict[int, Dict[int, Tuple[str, int]]] = {}
+
+
+def _reloc_map(binary: Binary) -> Dict[int, Tuple[str, int]]:
+    """{data offset: (symbol, addend)} — shared by every AVX call-site
+    check in one binary."""
+    key = id(binary)
+    cached = _RELOC_MAPS.get(key)
+    if cached is None:
+        cached = {off: (sym, addend) for off, sym, addend in binary.data_relocs}
+        _RELOC_MAPS[key] = cached
+        weakref.finalize(binary, _RELOC_MAPS.pop, key, None)
+    return cached
+
+#: Vector load width in words, per opcode.
+_VLOAD_WORDS = {Op.VLOAD: 4, Op.VLOAD512: 8}
+
+
+class _FunctionCode:
+    """One function's instructions, indexed for CFG recovery."""
+
+    def __init__(self, record: FrameRecord, items: List[Tuple[int, Instruction]]):
+        self.record = record
+        self.items = items
+        self._index_by_offset: Optional[Dict[int, int]] = None
+        self._call_ordinals: Optional[Dict[int, int]] = None
+
+    @property
+    def index_by_offset(self) -> Dict[int, int]:
+        # Lazy: only functions with resolved branches or call-site records
+        # need the offset index (booby-trap bodies, for one, never do).
+        if self._index_by_offset is None:
+            self._index_by_offset = {
+                offset: i for i, (offset, _) in enumerate(self.items)
+            }
+        return self._index_by_offset
+
+    def at(self, index: int) -> Tuple[int, Instruction]:
+        return self.items[index]
+
+    def call_ordinal(self, index: int) -> int:
+        """Which lowered call site (0-based, text order) ``index`` is."""
+        if self._call_ordinals is None:
+            self._call_ordinals = {}
+            count = 0
+            for i, (_, instr) in enumerate(self.items):
+                if instr.op is Op.CALL:
+                    self._call_ordinals[i] = count
+                    count += 1
+        return self._call_ordinals[index]
+
+
+def _partition_text(binary: Binary) -> Dict[str, _FunctionCode]:
+    """Split the text stream into per-function codes in one pass.
+
+    Functions are laid out contiguously and non-overlapping, and
+    ``binary.text`` is offset-sorted, so a single cursor suffices.
+    """
+    text = binary.text
+    total = len(text)
+    records = sorted(binary.frame_records.values(), key=lambda r: r.entry_offset)
+    code: Dict[str, _FunctionCode] = {}
+    cursor = 0
+    for record in records:
+        while cursor < total and text[cursor][0] < record.entry_offset:
+            cursor += 1
+        start = cursor
+        end_offset = record.end_offset
+        while cursor < total and text[cursor][0] < end_offset:
+            cursor += 1
+        code[record.name] = _FunctionCode(record, text[start:cursor])
+    return code
+
+
+def verify_binary(binary: Binary, *, target: Optional[str] = None) -> FindingsReport:
+    """Statically verify ``binary``; returns a findings report."""
+    report = FindingsReport(target=target or f"bin:{binary.name}")
+    plan: Optional[ModulePlan] = binary.metadata.get("plan")
+    booby_traps = set(binary.metadata.get("booby_trap_functions", ()))
+    trampolines = {name for name, _ in plan.trampolines} if plan else set()
+
+    code = _partition_text(binary)
+
+    for name, fn_code in code.items():
+        if name in booby_traps:
+            _verify_booby_trap(name, fn_code, report)
+        elif name in trampolines or name == _START:
+            continue  # single-jump stubs / the synthesized entry shim
+        else:
+            _verify_function(binary, name, fn_code, plan, booby_traps, report)
+
+    _verify_callsite_records(binary, code, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# booby traps
+# ---------------------------------------------------------------------------
+
+
+def _verify_booby_trap(name: str, fn_code: _FunctionCode, report: FindingsReport) -> None:
+    for offset, instr in fn_code.items:
+        if instr.op is not Op.TRAP:
+            report.add(
+                "TRAP002",
+                f"{name}+{offset - fn_code.record.entry_offset:#x}",
+                f"booby-trap body contains {instr.op.value}",
+            )
+
+
+# ---------------------------------------------------------------------------
+# per-function abstract interpretation
+# ---------------------------------------------------------------------------
+
+
+def _rsp_delta_words(instr: Instruction, report: FindingsReport, where: str) -> int:
+    """Stack-depth change in words for a sub/add-rsp instruction."""
+    op = instr.op
+    if not isinstance(instr.b, Imm) or instr.b.symbol is not None:
+        report.add("STACK004", where, "rsp adjusted by a non-constant amount")
+        return 0
+    value = instr.b.value
+    if value % WORD != 0:
+        report.add("STACK004", where, f"rsp adjusted by {value} (not word-sized)")
+        return 0
+    return value // WORD if op is Op.SUB else -(value // WORD)
+
+
+def _branch_target(binary: Binary, operand) -> Optional[int]:
+    if isinstance(operand, Imm) and operand.symbol is not None:
+        base = binary.symbols_text.get(operand.symbol)
+        if base is not None:
+            return base + operand.value
+    return None
+
+
+def _verify_function(
+    binary: Binary,
+    name: str,
+    fn_code: _FunctionCode,
+    plan: Optional[ModulePlan],
+    booby_traps: set,
+    report: FindingsReport,
+) -> None:
+    record = fn_code.record
+    items = fn_code.items
+    if not items:
+        report.add("CFG001", name, "function covers no instructions")
+        return
+    entry = record.entry_offset
+
+    def where(offset: int) -> str:
+        return f"{name}+{offset - entry:#x}"
+
+    fplan = plan.function_plan(name) if plan is not None else None
+
+    # -- plan cross-checks: prolog traps, NOP sleds, BTDP writes ------------
+    if fplan is not None:
+        _verify_prolog_traps(binary, name, fn_code, fplan.prolog_traps, report)
+        nops, source_reads = _count_plan_markers(
+            fn_code,
+            plan.btdp_source_symbol if fplan.btdp_count > 0 else None,
+        )
+        _verify_nop_sled(name, nops, fplan, report)
+        _verify_btdp_prologue(binary, name, source_reads, plan, fplan, report)
+
+    # -- worklist depth analysis -------------------------------------------
+    depths: List[Optional[int]] = [None] * len(items)
+    depths[0] = 0
+    worklist = [0]
+    body_depth_expected = record.frame_bytes // WORD + record.post_offset
+
+    # The loop below visits each instruction (typically) once; it is on
+    # the hot path of every verified compile, so the rsp-delta fast paths
+    # are inlined, opcode tests are identity chains on local bindings (an
+    # Op-keyed set lookup pays a Python-level enum __hash__ per
+    # instruction), and site strings are only built when a finding fires.
+    op_push, op_pop, op_sub, op_add, reg_rsp = Op.PUSH, Op.POP, Op.SUB, Op.ADD, Reg.RSP
+    op_cmp, op_test, op_ret, op_exit, op_trap = Op.CMP, Op.TEST, Op.RET, Op.EXIT, Op.TRAP
+    op_jmp, op_call = Op.JMP, Op.CALL
+    op_je, op_jne, op_jl, op_jle, op_jg, op_jge = JCC_OPS
+    total = len(items)
+
+    while worklist:
+        i = worklist.pop()
+        offset, instr = items[i]
+        depth = depths[i]
+        op = instr.op
+
+        if op is op_push:
+            new_depth = depth + 1
+        elif op is op_pop:
+            new_depth = depth - 1
+        elif (op is op_sub or op is op_add) and instr.a is reg_rsp:
+            new_depth = depth + _rsp_delta_words(instr, report, where(offset))
+        else:
+            if instr.a is reg_rsp and op is not op_cmp and op is not op_test:
+                # mov/lea/... into rsp: not emitted by this code generator.
+                report.add("STACK004", where(offset), f"unanalyzable rsp write via {op.value}")
+            new_depth = depth
+        if new_depth < 0:
+            report.add(
+                "STACK001",
+                where(offset),
+                f"stack depth {new_depth} underflows the frame",
+                depth=new_depth,
+            )
+            continue
+
+        if op is op_ret:
+            if depth != 0:
+                report.add(
+                    "STACK001",
+                    where(offset),
+                    f"stack depth {depth} at ret (expected 0)",
+                    depth=depth,
+                )
+            continue
+        if op is op_exit or op is op_trap:
+            continue
+        succs: List[int] = []
+        if op is op_jmp:
+            target = _branch_target(binary, instr.a)
+            if target is None:
+                report.add("CFG002", where(offset), "indirect jump in function body")
+                continue
+            index = fn_code.index_by_offset.get(target)
+            if index is None:
+                report.add(
+                    "CFG001", where(offset), f"jump target {target:#x} leaves the function"
+                )
+                continue
+            succs.append(index)
+        elif (op is op_je or op is op_jne or op is op_jl
+              or op is op_jle or op is op_jg or op is op_jge):
+            target = _branch_target(binary, instr.a)
+            index = fn_code.index_by_offset.get(target) if target is not None else None
+            if index is None:
+                report.add("CFG001", where(offset), "conditional branch target unresolved")
+            else:
+                succs.append(index)
+            if i + 1 < total:
+                succs.append(i + 1)
+        else:
+            if op is op_call:
+                _check_call_site(binary, name, fn_code, i, depth,
+                                 body_depth_expected, booby_traps, plan, report)
+            if i + 1 >= total:
+                report.add("CFG001", where(offset), "control falls off the function end")
+                continue
+            # Fall-through fast path: no successor list needed.
+            known = depths[i + 1]
+            if known is None:
+                depths[i + 1] = new_depth
+                worklist.append(i + 1)
+            elif known != new_depth:
+                report.add(
+                    "STACK003",
+                    where(items[i + 1][0]),
+                    f"join reached with depths {known} and {new_depth}",
+                    depths=[known, new_depth],
+                )
+            continue
+
+        for index in succs:
+            known = depths[index]
+            if known is None:
+                depths[index] = new_depth
+                worklist.append(index)
+            elif known != new_depth:
+                report.add(
+                    "STACK003",
+                    where(items[index][0]),
+                    f"join reached with depths {known} and {new_depth}",
+                    depths=[known, new_depth],
+                )
+
+    # -- .eh_frame frame-size cross-check ----------------------------------
+    _verify_frame_record(binary, name, fn_code, depths, report)
+
+
+def _prologue_span(fn_code: _FunctionCode) -> int:
+    """Index of the first instruction after the jump-over-traps prelude."""
+    i = 0
+    items = fn_code.items
+    if items and items[0][1].op is Op.JMP:
+        i = 1
+        while i < len(items) and items[i][1].op is Op.TRAP:
+            i += 1
+    return i
+
+
+def _verify_frame_record(
+    binary: Binary,
+    name: str,
+    fn_code: _FunctionCode,
+    depths: List[Optional[int]],
+    report: FindingsReport,
+) -> None:
+    """The prologue's rsp decrement must equal frame_bytes + 8*post_offset.
+
+    This is the invariant :func:`repro.toolchain.unwind.unwind` relies on
+    to locate the return-address slot from any body rsp — checking it here
+    is the static audit of the ``.eh_frame`` analogue.
+    """
+    record = fn_code.record
+    items = fn_code.items
+    i = _prologue_span(fn_code)
+    computed_post: Optional[int] = None
+    total_words = 0
+    first = True
+    while i < len(items):
+        instr = items[i][1]
+        if instr.op is Op.SUB and instr.a is Reg.RSP and isinstance(instr.b, Imm):
+            words = instr.b.value // WORD
+            if first and record.post_offset > 0:
+                computed_post = words
+            total_words += words
+            first = False
+            i += 1
+        else:
+            break
+    expected = record.frame_bytes // WORD + record.post_offset
+    if total_words != expected:
+        report.add(
+            "UNWIND001",
+            name,
+            f"prologue allocates {total_words} words, frame record says "
+            f"{record.frame_bytes}B + post {record.post_offset}",
+            computed=total_words,
+            recorded=expected,
+        )
+    if record.post_offset > 0 and computed_post != record.post_offset:
+        report.add(
+            "UNWIND001",
+            name,
+            f"callee-side BTRA sub is {computed_post} words, "
+            f"frame record says post_offset={record.post_offset}",
+            computed=computed_post,
+            recorded=record.post_offset,
+        )
+    # The 16-byte call-alignment parity rule from toolchain.frame.
+    if (record.frame_bytes // WORD + record.post_offset + 1) % 2 != 0:
+        report.add(
+            "STACK002",
+            name,
+            "frame words + post_offset violate the call-alignment parity rule",
+        )
+
+
+# ---------------------------------------------------------------------------
+# call sites
+# ---------------------------------------------------------------------------
+
+
+def _check_call_site(
+    binary: Binary,
+    name: str,
+    fn_code: _FunctionCode,
+    call_index: int,
+    depth: int,
+    body_depth: int,
+    booby_traps: set,
+    plan: Optional[ModulePlan],
+    report: FindingsReport,
+) -> None:
+    offset, instr = fn_code.at(call_index)
+    where = f"{name}+{offset - fn_code.record.entry_offset:#x}"
+
+    # Calling convention: rsp ≡ 0 (mod 16) at the call.  Entry rsp ≡ 8,
+    # so the pushed word count must be odd.
+    if (depth + 1) % 2 != 0:
+        report.add(
+            "STACK002",
+            where,
+            f"call at stack depth {depth} leaves rsp misaligned",
+            depth=depth,
+        )
+
+    # Direct call targets must be function entries.
+    if isinstance(instr.a, Imm) and instr.a.symbol is not None:
+        callee = instr.a.symbol
+        callee_record = binary.frame_records.get(callee)
+        if callee_record is None or instr.a.value != 0:
+            report.add("CALL001", where, f"call target {callee!r} is not a function")
+        elif binary.symbols_text.get(callee) != callee_record.entry_offset:
+            report.add("CALL001", where, f"call target {callee!r} is mid-function")
+
+    ret_offset = offset + instr.size
+    site = binary.callsite_records.get(ret_offset)
+    if site is None:
+        report.add("CALL002", where, "call has no call-site record")
+        return
+    if site.caller != name:
+        report.add("CALL002", where, f"call-site record names caller {site.caller!r}")
+
+    # .eh_frame cross-check: unwinding from the callee reconstructs the
+    # caller's body rsp via pre_words + cleanup_words; the computed depth
+    # at the call must therefore equal body + pre + cleanup.
+    expected_depth = body_depth + site.pre_words + site.cleanup_words
+    if depth != expected_depth:
+        report.add(
+            "UNWIND002",
+            where,
+            f"call executes at depth {depth}, call-site record implies "
+            f"{expected_depth} (body {body_depth} + pre {site.pre_words} "
+            f"+ cleanup {site.cleanup_words})",
+            computed=depth,
+            recorded=expected_depth,
+        )
+
+    if site.uses_btra:
+        racy = _site_is_racy(plan, name, fn_code, call_index)
+        if site.use_avx:
+            _check_btra_avx(binary, name, fn_code, call_index, site, booby_traps, report)
+        elif not racy:
+            _check_btra_push(binary, name, fn_code, call_index, site, booby_traps, report)
+
+
+def _site_is_racy(
+    plan: Optional[ModulePlan], name: str, fn_code: _FunctionCode, call_index: int
+) -> bool:
+    """Is this call site the deliberate ``unsafe_racy_btras`` ablation?
+
+    Racy sites skip the pre-written return address by design, so the
+    BTRA001 proof does not apply to them.  Identified via the plan: count
+    which lowered call site this is (calls in text order match lowering
+    order) and read its plan entry.
+    """
+    if plan is None:
+        return False
+    fplan = plan.function_plan(name)
+    return fplan.call_site(fn_code.call_ordinal(call_index)).racy
+
+
+def _resolve_text(binary: Binary, symbol: str, addend: int) -> Optional[int]:
+    base = binary.symbols_text.get(symbol)
+    return None if base is None else base + addend
+
+
+def _check_trap_target(
+    binary: Binary,
+    where: str,
+    symbol: Optional[str],
+    addend: int,
+    booby_traps: set,
+    report: FindingsReport,
+) -> None:
+    """A BTRA value must hit a trap instruction inside a booby-trap body."""
+    resolved = _resolve_text(binary, symbol, addend) if symbol else None
+    if resolved is None:
+        report.add("BTRA002", where, f"BTRA symbol {symbol!r} does not resolve to text")
+        return
+    owner = binary.function_at_offset(resolved)
+    if owner not in booby_traps:
+        report.add(
+            "BTRA002",
+            where,
+            f"BTRA {symbol}+{addend:#x} lands in {owner!r}, not a booby trap",
+            target=owner,
+        )
+        return
+    record = binary.frame_records[owner]
+    index = resolved - record.entry_offset  # trap bodies are 1-byte TRAPs
+    if index >= record.end_offset - record.entry_offset:
+        report.add("BTRA002", where, f"BTRA {symbol}+{addend:#x} overruns the trap body")
+
+
+def _check_btra_push(
+    binary: Binary,
+    name: str,
+    fn_code: _FunctionCode,
+    call_index: int,
+    site: CallSiteRecord,
+    booby_traps: set,
+    report: FindingsReport,
+) -> None:
+    """Validate the push-based setup (Figure 3) ending at ``call_index``.
+
+    Expected suffix, innermost last::
+
+        push <pre BTRA> * pre_words
+        push <caller::.LretK>          ; the real return address
+        push <post BTRA> * post_words
+        add rsp, 8*(post_words+1)      ; reposition above the RA slot
+        call ...
+    """
+    offset, _ = fn_code.at(call_index)
+    where = f"{name}+{offset - fn_code.record.entry_offset:#x}"
+    items = fn_code.items
+    i = call_index - 1
+
+    def malformed(reason: str) -> None:
+        report.add("BTRA004", where, f"push-mode BTRA setup: {reason}")
+
+    if i < 0 or items[i][1].op is not Op.ADD or items[i][1].a is not Reg.RSP:
+        return malformed("missing rsp repositioning before the call")
+    reposition = items[i][1].b
+    if not isinstance(reposition, Imm) or reposition.value != WORD * (site.post_words + 1):
+        return malformed(
+            f"rsp repositioned by {getattr(reposition, 'value', reposition)}, "
+            f"expected {WORD * (site.post_words + 1)}"
+        )
+    i -= 1
+
+    pushes: List[Imm] = []
+    needed = site.pre_words + 1 + site.post_words
+    while i >= 0 and len(pushes) < needed and items[i][1].op is Op.PUSH:
+        operand = items[i][1].a
+        if not isinstance(operand, Imm) or operand.symbol is None:
+            break
+        pushes.append(operand)
+        i -= 1
+    if len(pushes) != needed:
+        report.add(
+            "BTRA003",
+            where,
+            f"found {len(pushes)} BTRA pushes, record implies "
+            f"{site.pre_words} pre + RA + {site.post_words} post",
+            found=len(pushes),
+        )
+        return
+
+    # pushes[] is innermost-first: post (reversed), RA, pre (reversed).
+    ra_imm = pushes[site.post_words]
+    ra_resolved = _resolve_text(binary, ra_imm.symbol, ra_imm.value)
+    if ra_resolved != site.ret_offset:
+        report.add(
+            "BTRA001",
+            where,
+            f"pre-written return address resolves to "
+            f"{ra_resolved if ra_resolved is not None else '<nowhere>'}, "
+            f"call returns to {site.ret_offset:#x}",
+            resolved=ra_resolved,
+            ret_offset=site.ret_offset,
+        )
+    for position, imm in enumerate(pushes):
+        if position == site.post_words:
+            continue
+        _check_trap_target(binary, where, imm.symbol, imm.value, booby_traps, report)
+
+
+def _check_btra_avx(
+    binary: Binary,
+    name: str,
+    fn_code: _FunctionCode,
+    call_index: int,
+    site: CallSiteRecord,
+    booby_traps: set,
+    report: FindingsReport,
+) -> None:
+    """Validate the vector-batched setup (Figure 4) ending at ``call_index``.
+
+    Expected suffix::
+
+        (vload ymm, [__btra_arr_*+k] ; vstore [rsp-…], ymm) * batches
+        vzeroupper
+        sub rsp, 8*pre_words
+        call ...
+
+    The BTRA/RA image lives in the call-site's data array; its relocation
+    entries are read back and checked against the record.
+    """
+    offset, _ = fn_code.at(call_index)
+    where = f"{name}+{offset - fn_code.record.entry_offset:#x}"
+    items = fn_code.items
+    i = call_index - 1
+
+    def malformed(reason: str) -> None:
+        report.add("BTRA004", where, f"avx-mode BTRA setup: {reason}")
+
+    if i < 0 or items[i][1].op is not Op.SUB or items[i][1].a is not Reg.RSP:
+        return malformed("missing rsp repositioning before the call")
+    reposition = items[i][1].b
+    if not isinstance(reposition, Imm) or reposition.value != WORD * site.pre_words:
+        return malformed(
+            f"rsp repositioned by {getattr(reposition, 'value', reposition)}, "
+            f"expected {WORD * site.pre_words}"
+        )
+    i -= 1
+    if i < 0 or items[i][1].op is not Op.VZEROUPPER:
+        return malformed("missing vzeroupper after the vector batch")
+    i -= 1
+
+    batches = 0
+    width: Optional[int] = None
+    array_symbol: Optional[str] = None
+    while i >= 1 and items[i][1].op in (Op.VSTORE, Op.VSTORE512):
+        load = items[i - 1][1]
+        if load.op not in _VLOAD_WORDS:
+            break
+        width = _VLOAD_WORDS[load.op]
+        mem = load.b
+        if isinstance(mem, Mem) and mem.symbol is not None:
+            array_symbol = mem.symbol
+        batches += 1
+        i -= 2
+    if batches == 0 or array_symbol is None or width is None:
+        return malformed("no vector load/store batch found before the call")
+
+    padded = batches * width
+    real_words = site.pre_words + 1 + site.post_words
+    if padded < real_words or padded - real_words >= width:
+        report.add(
+            "BTRA003",
+            where,
+            f"vector batch covers {padded} words for {real_words} "
+            f"(pre {site.pre_words} + RA + post {site.post_words})",
+            padded=padded,
+        )
+        return
+
+    base = binary.symbols_data.get(array_symbol)
+    if base is None:
+        return malformed(f"BTRA array {array_symbol!r} missing from the data section")
+    relocs = _reloc_map(binary)
+    entries: List[Optional[Tuple[str, int]]] = [
+        relocs.get(base + WORD * k) for k in range(padded)
+    ]
+    if any(entry is None for entry in entries):
+        report.add(
+            "BTRA003",
+            where,
+            "BTRA array has unrelocated (non-pointer) entries",
+            array=array_symbol,
+        )
+        return
+
+    # Ascending image: [padding][post reversed][RA][pre reversed].
+    pad_count = padded - real_words
+    ra_symbol, ra_addend = entries[pad_count + site.post_words]
+    ra_resolved = _resolve_text(binary, ra_symbol, ra_addend)
+    if ra_resolved != site.ret_offset:
+        report.add(
+            "BTRA001",
+            where,
+            f"BTRA array return address resolves to "
+            f"{ra_resolved if ra_resolved is not None else '<nowhere>'}, "
+            f"call returns to {site.ret_offset:#x}",
+            resolved=ra_resolved,
+            ret_offset=site.ret_offset,
+        )
+    for position, (symbol, addend) in enumerate(entries):
+        if position == pad_count + site.post_words:
+            continue
+        _check_trap_target(binary, where, symbol, addend, booby_traps, report)
+
+
+def _verify_callsite_records(
+    binary: Binary, code: Dict[str, _FunctionCode], report: FindingsReport
+) -> None:
+    """Every call-site record's ret_offset must directly follow a call."""
+    for ret_offset, site in binary.callsite_records.items():
+        fn_code = code.get(site.caller)
+        if fn_code is None:
+            report.add(
+                "UNWIND003", f"ret+{ret_offset:#x}", f"record names unknown caller {site.caller!r}"
+            )
+            continue
+        index = fn_code.index_by_offset.get(ret_offset)
+        prev = index - 1 if index is not None else None
+        # ret_offset may equal the function end (call as last instruction).
+        if index is None:
+            if ret_offset == fn_code.record.end_offset:
+                prev = len(fn_code.items) - 1
+            else:
+                report.add(
+                    "UNWIND003",
+                    f"{site.caller}@{ret_offset:#x}",
+                    "ret_offset hits no instruction boundary",
+                )
+                continue
+        if prev is None or prev < 0 or fn_code.items[prev][1].op is not Op.CALL:
+            report.add(
+                "UNWIND003",
+                f"{site.caller}@{ret_offset:#x}",
+                "call-site record does not follow a call instruction",
+            )
+
+
+# ---------------------------------------------------------------------------
+# plan cross-checks: prolog traps, NOP sleds, BTDP prologue
+# ---------------------------------------------------------------------------
+
+
+def _verify_prolog_traps(
+    binary: Binary,
+    name: str,
+    fn_code: _FunctionCode,
+    expected: int,
+    report: FindingsReport,
+) -> None:
+    items = fn_code.items
+    if expected <= 0:
+        if items and items[0][1].tag == "prolog-trap-skip":
+            report.add("TRAP001", name, "prolog trap block present but plan says none")
+        return
+    if not items or items[0][1].op is not Op.JMP:
+        report.add("TRAP001", name, "plan expects prolog traps but entry is not a jump")
+        return
+    traps = 0
+    i = 1
+    while i < len(items) and items[i][1].op is Op.TRAP:
+        traps += 1
+        i += 1
+    if traps != expected:
+        report.add(
+            "TRAP001",
+            name,
+            f"prolog holds {traps} traps, plan says {expected}",
+            found=traps,
+            planned=expected,
+        )
+        return
+    target = _branch_target(binary, items[0][1].a)
+    body_offset = items[i][0] if i < len(items) else fn_code.record.end_offset
+    if target != body_offset:
+        report.add(
+            "TRAP001",
+            name,
+            f"prolog skip-jump targets {target}, body starts at {body_offset:#x}",
+        )
+
+
+def _count_plan_markers(
+    fn_code: _FunctionCode, source: Optional[str]
+) -> Tuple[int, int]:
+    """One pass over the function: (NOP count, loads through ``source``)."""
+    nops = 0
+    source_reads = 0
+    op_nop, op_mov = Op.NOP, Op.MOV
+    for _, instr in fn_code.items:
+        op = instr.op
+        if op is op_nop:
+            nops += 1
+        elif op is op_mov and source is not None:
+            b = instr.b
+            if type(b) is Mem and b.symbol == source:
+                source_reads += 1
+    return nops, source_reads
+
+
+def _verify_nop_sled(
+    name: str, found: int, fplan, report: FindingsReport
+) -> None:
+    planned = sum(cs.nops_before for cs in fplan.call_sites)
+    if found != planned:
+        report.add(
+            "NOP001",
+            name,
+            f"function holds {found} NOPs, plan says {planned}",
+            found=found,
+            planned=planned,
+        )
+
+
+def _verify_btdp_prologue(
+    binary: Binary,
+    name: str,
+    source_reads: int,
+    plan: ModulePlan,
+    fplan,
+    report: FindingsReport,
+) -> None:
+    if fplan.btdp_count <= 0:
+        return
+    source = plan.btdp_source_symbol
+    if source is None or source not in binary.symbols_data:
+        report.add("BTDP003", name, f"BTDP source symbol {source!r} missing from data")
+        return
+    for index in fplan.btdp_indices:
+        if not (0 <= index < plan.btdp_array_len):
+            report.add(
+                "BTDP001",
+                name,
+                f"BTDP index {index} outside array of {plan.btdp_array_len}",
+                index=index,
+            )
+    # Each planned BTDP produces exactly one load through the source symbol.
+    if source_reads != fplan.btdp_count:
+        report.add(
+            "BTDP003",
+            name,
+            f"prologue reads BTDP source {source_reads} times, plan says "
+            f"{fplan.btdp_count}",
+            found=source_reads,
+            planned=fplan.btdp_count,
+        )
+
+
+# ---------------------------------------------------------------------------
+# loaded-process checks (the runtime half of the BTDP invariant)
+# ---------------------------------------------------------------------------
+
+
+def verify_loaded(process, *, target: Optional[str] = None) -> FindingsReport:
+    """Verify invariants that only exist after the runtime constructor ran.
+
+    Proves every BTDP pointer — the heap (or data-section) array entries
+    and the data-section decoys — references a guard page, so any
+    dereference during an AOCR-style heap walk detonates (Section 4.2).
+    Reads only the process image through its symbols, never the
+    ``r2c_runtime`` ground-truth record.
+    """
+    from repro.core.passes.btdp import (
+        DECOY_PREFIX,
+        HARDENED_PTR_SYMBOL,
+        NAIVE_ARRAY_SYMBOL,
+    )
+
+    binary = process.binary
+    report = FindingsReport(target=target or f"proc:{binary.name if binary else '?'}")
+    plan: Optional[ModulePlan] = binary.metadata.get("plan") if binary else None
+    if plan is None or plan.btdp_source_symbol is None:
+        return report  # no BTDPs in this binary
+
+    memory = process.memory
+    array_len = plan.btdp_array_len
+
+    if plan.btdp_source_is_pointer:
+        ptr_slot = process.symbols.get(HARDENED_PTR_SYMBOL)
+        if ptr_slot is None:
+            report.add("BTDP003", HARDENED_PTR_SYMBOL, "hardened BTDP pointer missing")
+            return report
+        array_addr = memory.load_word_raw(ptr_slot)
+    else:
+        array_addr = process.symbols.get(NAIVE_ARRAY_SYMBOL)
+        if array_addr is None:
+            report.add("BTDP003", NAIVE_ARRAY_SYMBOL, "naive BTDP array missing")
+            return report
+
+    for index in range(array_len):
+        value = memory.load_word_raw(array_addr + index * WORD)
+        if not memory.is_guard(value):
+            report.add(
+                "BTDP002",
+                f"btdp[{index}]",
+                f"array entry {value:#x} does not point into a guard page",
+                value=value,
+            )
+
+    index = 0
+    while f"{DECOY_PREFIX}{index}" in process.symbols:
+        value = memory.load_word_raw(process.symbols[f"{DECOY_PREFIX}{index}"])
+        if not memory.is_guard(value):
+            report.add(
+                "BTDP002",
+                f"{DECOY_PREFIX}{index}",
+                f"decoy {value:#x} does not point into a guard page",
+                value=value,
+            )
+        index += 1
+    return report

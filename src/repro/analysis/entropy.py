@@ -1,0 +1,177 @@
+"""Diversification-entropy auditor: does diversification diversify?
+
+Given N variants of one module compiled under the same config with
+different seeds, this module quantifies what an AOCR adversary who
+disassembled *one* variant still knows about the others (Section 3's
+threat model):
+
+* **surviving gadgets** — instruction suffixes ending at ``ret`` that
+  appear at the same text offset with the same rendering in two variants;
+  the pairwise survival fraction is what code-reuse payloads can count on;
+* **layout entropy** — Shannon entropy (bits) of each function's entry
+  offset across the variant set (function shuffle + NOP/trap insertion);
+* **regalloc divergence** — fraction of variant pairs in which a
+  function's register-usage signature differs (regalloc shuffle);
+* **stack-slot divergence** — same, over the frame records' slot layouts
+  (stack-slot shuffle).
+
+Tests assert floors on these numbers so a future pass refactor that
+silently stops randomizing fails loudly instead of shipping a
+deterministic "diversified" build.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from math import log2
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.machine.isa import Op, Reg
+from repro.toolchain.binary import Binary
+from repro.toolchain.disasm import render_instruction
+
+#: Longest gadget suffix considered, in instructions (typical ROP chains
+#: use 2-5 instruction gadgets).
+GADGET_WINDOW = 5
+
+Gadget = Tuple[int, Tuple[str, ...]]  # (start offset, rendered suffix)
+
+
+def extract_gadgets(binary: Binary, *, window: int = GADGET_WINDOW) -> FrozenSet[Gadget]:
+    """All ret-terminated instruction suffixes of length 1..window."""
+    gadgets = set()
+    text = binary.text
+    for i, (_, instr) in enumerate(text):
+        if instr.op is not Op.RET:
+            continue
+        for length in range(1, min(window, i + 1) + 1):
+            start = i - length + 1
+            rendered = tuple(
+                render_instruction(item[1]) for item in text[start : i + 1]
+            )
+            gadgets.add((text[start][0], rendered))
+    return frozenset(gadgets)
+
+
+def _register_signature(binary: Binary, name: str) -> Tuple[int, ...]:
+    """Registers in first-appearance order — sensitive to regalloc
+    permutations that leave the register *set* unchanged."""
+    record = binary.frame_records[name]
+    order: List[int] = []
+    seen = set()
+    for offset, instr in binary.text:
+        if not (record.entry_offset <= offset < record.end_offset):
+            continue
+        for operand in (instr.a, instr.b):
+            if isinstance(operand, Reg) and operand.value not in seen:
+                seen.add(operand.value)
+                order.append(operand.value)
+    return tuple(order)
+
+
+def _shannon_bits(values: List[object]) -> float:
+    counts = Counter(values)
+    total = len(values)
+    return -sum((c / total) * log2(c / total) for c in counts.values())
+
+
+@dataclass
+class EntropyAudit:
+    """The auditor's verdict over one variant set."""
+
+    seeds: List[int]
+    gadget_counts: List[int]
+    pairwise_survival: List[Tuple[int, int, float]] = field(default_factory=list)
+    layout_entropy_bits: float = 0.0
+    max_layout_entropy_bits: float = 0.0
+    regalloc_divergence: float = 0.0
+    slot_divergence: float = 0.0
+
+    @property
+    def mean_survival(self) -> float:
+        if not self.pairwise_survival:
+            return 0.0
+        return sum(s for _, _, s in self.pairwise_survival) / len(self.pairwise_survival)
+
+    @property
+    def max_survival(self) -> float:
+        return max((s for _, _, s in self.pairwise_survival), default=0.0)
+
+    def render(self) -> str:
+        lines = [
+            f"entropy audit over {len(self.seeds)} variants (seeds {self.seeds})",
+            f"  gadgets per variant: {self.gadget_counts}",
+            f"  surviving-gadget fraction: mean {self.mean_survival:.4f}, "
+            f"max {self.max_survival:.4f}",
+            f"  layout entropy: {self.layout_entropy_bits:.2f} / "
+            f"{self.max_layout_entropy_bits:.2f} bits",
+            f"  regalloc divergence: {self.regalloc_divergence:.2%}",
+            f"  stack-slot divergence: {self.slot_divergence:.2%}",
+        ]
+        return "\n".join(lines)
+
+
+def audit_binaries(binaries: List[Binary], seeds: List[int]) -> EntropyAudit:
+    """Measure diversification across an already-compiled variant set."""
+    if len(binaries) < 2:
+        raise ValueError("entropy audit needs at least two variants")
+
+    gadget_sets = [extract_gadgets(b) for b in binaries]
+    audit = EntropyAudit(seeds=list(seeds), gadget_counts=[len(g) for g in gadget_sets])
+
+    for i in range(len(binaries)):
+        for j in range(i + 1, len(binaries)):
+            smaller = min(len(gadget_sets[i]), len(gadget_sets[j])) or 1
+            shared = len(gadget_sets[i] & gadget_sets[j])
+            audit.pairwise_survival.append((seeds[i], seeds[j], shared / smaller))
+
+    # Layout entropy: mean per-function entry-offset entropy.  Booby-trap
+    # function sets differ per seed, so only functions common to every
+    # variant participate.
+    common = set(binaries[0].frame_records)
+    for binary in binaries[1:]:
+        common &= set(binary.frame_records)
+    per_function = [
+        _shannon_bits([b.frame_records[name].entry_offset for b in binaries])
+        for name in sorted(common)
+    ]
+    audit.layout_entropy_bits = (
+        sum(per_function) / len(per_function) if per_function else 0.0
+    )
+    audit.max_layout_entropy_bits = log2(len(binaries))
+
+    # Regalloc / slot divergence: fraction of (function, pair) samples
+    # where the two variants disagree.
+    reg_diff = reg_total = slot_diff = slot_total = 0
+    for name in sorted(common):
+        signatures = [_register_signature(b, name) for b in binaries]
+        slots = [tuple(sorted(b.frame_records[name].slot_offsets.items())) for b in binaries]
+        for i in range(len(binaries)):
+            for j in range(i + 1, len(binaries)):
+                reg_total += 1
+                slot_total += 1
+                if signatures[i] != signatures[j]:
+                    reg_diff += 1
+                if slots[i] != slots[j]:
+                    slot_diff += 1
+    audit.regalloc_divergence = reg_diff / reg_total if reg_total else 0.0
+    audit.slot_divergence = slot_diff / slot_total if slot_total else 0.0
+    return audit
+
+
+def audit(module, config, seeds, *, entry: str = "main") -> EntropyAudit:
+    """Compile ``module`` once per seed under ``config`` and audit the set.
+
+    Verification is forced off for these compiles — the auditor measures
+    diversity, the checkers prove invariants; keeping them independent
+    lets lint run both without recursion.
+    """
+    from repro.core.compiler import compile_module  # deferred: avoids cycle
+
+    binaries = []
+    seeds = list(seeds)
+    for seed in seeds:
+        variant_config = config.replace(seed=seed, verify=False)
+        binaries.append(compile_module(module, variant_config, entry=entry))
+    return audit_binaries(binaries, seeds)

@@ -1,0 +1,176 @@
+"""Diagnostics model for the static verification layer.
+
+Every check in :mod:`repro.analysis` reports through this module: a
+:class:`Finding` is one violation of a structural invariant, carrying a
+*stable rule ID* (``BTRA001``, ``STACK002``, ...) so CI can gate on rule
+sets and tests can pin a mutation to the exact rule it must trip.  The
+registry below is the taxonomy; adding a rule means adding a row here
+first, and IDs are never reused or renumbered.
+
+The model is deliberately dependency-free (only :mod:`repro.errors`) so
+that the toolchain and pass layers can raise through it without import
+cycles — the ad-hoc sanity asserts that used to live in
+``toolchain/lower.py`` and ``core/passes/btra.py`` now funnel through
+:func:`fail`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ToolchainError
+
+#: Rule ID -> one-line description.  Stable: IDs are append-only.
+RULES: Dict[str, str] = {
+    # -- IR verifier (irverify.py) -----------------------------------------
+    "IR001": "unknown opcode or malformed operand list",
+    "IR002": "basic block missing a terminator, or terminator mid-block",
+    "IR003": "branch to an unknown or duplicate block label",
+    "IR004": "reference to an unknown local, global, or function symbol",
+    "IR005": "call arity disagrees with the callee signature",
+    "IR006": "virtual register used on a path that may not define it",
+    "IR007": "function has no basic blocks",
+    # -- binary invariant checker (binverify.py) ---------------------------
+    "CFG001": "control transfer leaves the function or hits no instruction",
+    "CFG002": "statically unanalyzable control transfer",
+    "STACK001": "stack depth non-zero at return",
+    "STACK002": "rsp not 16-byte aligned at a call instruction",
+    "STACK003": "inconsistent stack depth at a control-flow join",
+    "STACK004": "non-constant or non-word rsp adjustment",
+    "CALL001": "direct call target is not a known function entry",
+    "CALL002": "call instruction has no call-site record",
+    "UNWIND001": "frame record disagrees with the computed prologue depth",
+    "UNWIND002": "call-site record disagrees with the computed call depth",
+    "UNWIND003": "call-site record does not follow a call instruction",
+    "BTRA001": "return-address slot does not target the real return site",
+    "BTRA002": "BTRA does not land on a trap inside a booby-trap body",
+    "BTRA003": "BTRA pre/post counts do not bracket the return address",
+    "BTRA004": "malformed BTRA setup sequence",
+    "TRAP001": "prolog trap block disagrees with the diversification plan",
+    "TRAP002": "booby-trap function body contains a non-trap instruction",
+    "NOP001": "call-site NOP sled disagrees with the diversification plan",
+    "BTDP001": "BTDP index outside the runtime pointer array",
+    "BTDP002": "BTDP slot does not reference a guard page",
+    "BTDP003": "BTDP prologue writes disagree with the plan or source symbol",
+    # -- pass/lowering preconditions (raised via fail()) -------------------
+    "PLAN001": "BTRA planning requires booby-trap functions in the plan",
+    "PLAN002": "call site carries an odd pre-BTRA count",
+    "PLAN003": "racy BTRA variant cannot carry post-BTRAs",
+    "PLAN004": "unbalanced push depth after lowering an instruction",
+    "PLAN005": "BTDP count set but module has no BTDP source symbol",
+    # -- lint driver (lint.py) ---------------------------------------------
+    "LINT001": "workload faulted while executing under verification",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated invariant.
+
+    ``where`` names the site (``"mcf/main"``, ``"nginx/handle_request+0x40"``);
+    ``detail`` is free-form supporting data kept JSON-serializable.
+    """
+
+    rule: str
+    where: str
+    message: str
+    detail: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unregistered rule ID {self.rule!r}")
+
+    def __str__(self) -> str:
+        return f"{self.rule} {self.where}: {self.message}"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "rule": self.rule,
+                "where": self.where,
+                "message": self.message,
+                "detail": self.detail,
+            },
+            sort_keys=True,
+        )
+
+
+class FindingsReport:
+    """An ordered collection of findings from one verification target."""
+
+    def __init__(self, target: str = "", findings: Optional[Iterable[Finding]] = None):
+        self.target = target
+        self.findings: List[Finding] = list(findings or ())
+
+    def add(self, rule: str, where: str, message: str, **detail: object) -> Finding:
+        finding = Finding(rule=rule, where=where, message=message, detail=detail)
+        self.findings.append(finding)
+        return finding
+
+    def extend(self, other: "FindingsReport") -> None:
+        self.findings.extend(other.findings)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def rules(self) -> List[str]:
+        """The distinct rule IDs present, in first-seen order."""
+        seen: List[str] = []
+        for finding in self.findings:
+            if finding.rule not in seen:
+                seen.append(finding.rule)
+        return seen
+
+    def by_rule(self, rule: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def render(self, *, limit: int = 25) -> str:
+        header = self.target or "verification"
+        if self.ok:
+            return f"{header}: clean"
+        lines = [f"{header}: {len(self.findings)} finding(s)"]
+        for finding in self.findings[:limit]:
+            lines.append(f"  {finding}")
+        if len(self.findings) > limit:
+            lines.append(f"  ... and {len(self.findings) - limit} more")
+        return "\n".join(lines)
+
+    def raise_if_findings(self) -> None:
+        if self.findings:
+            raise VerificationError(self)
+
+
+class VerificationError(ToolchainError):
+    """A verification pass found (or a precondition violated) an invariant.
+
+    Subclasses :class:`ToolchainError` so call sites that previously caught
+    toolchain failures from the deduped lowering asserts keep working.
+    """
+
+    def __init__(self, report: FindingsReport):
+        self.report = report
+        super().__init__(report.render())
+
+    @property
+    def rules(self) -> List[str]:
+        return self.report.rules()
+
+
+def fail(rule: str, where: str, message: str, **detail: object) -> None:
+    """Raise a single-finding :class:`VerificationError`.
+
+    The funnel for in-toolchain precondition checks: call sites that used
+    to ``raise ToolchainError(...)`` ad hoc now carry a stable rule ID.
+    """
+    report = FindingsReport(target=where)
+    report.add(rule, where, message, **detail)
+    raise VerificationError(report)

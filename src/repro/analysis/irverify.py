@@ -1,0 +1,295 @@
+"""IR verifier: structural and dataflow checks over toolchain IR modules.
+
+A superset of :meth:`Module.validate` that *reports* instead of raising:
+CFG well-formedness (termination, label resolution), symbol resolution,
+call-signature arity, and a dominance-lite def-before-use analysis over
+virtual registers — a forward must-analysis computing, per block, the set
+of vregs defined on *every* path from entry; a use outside that set is a
+path that can read garbage (IR006).
+
+The verifier is a pure function of the module: it never mutates, and it
+accepts exactly the IR the rest of the toolchain accepts (every pass must
+map verifier-clean IR to verifier-clean IR; the property tests enforce
+this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import FindingsReport
+from repro.toolchain.ir import (
+    BIN_OPS,
+    CMP_PREDS,
+    Function,
+    IRInstr,
+    Module,
+    OPCODES,
+    TERMINATORS,
+)
+
+#: Expected argument counts per opcode (None = variable, checked ad hoc).
+_ARITY: Dict[str, Optional[int]] = {
+    "const": 2,
+    "bin": 4,
+    "cmp": 4,
+    "load": 3,
+    "store": 3,
+    "local_load": 3,
+    "local_store": 3,
+    "addr_local": 2,
+    "global_load": 3,
+    "global_store": 3,
+    "addr_global": 2,
+    "func_addr": 2,
+    "call": 3,
+    "icall": 3,
+    "rtcall": 3,
+    "br": 1,
+    "cbr": 3,
+    "ret": 1,
+    "out": 1,
+}
+
+#: Max register-passed arguments for runtime-service calls (callconv).
+_MAX_RTCALL_ARGS = 6
+
+
+def instr_def(instr: IRInstr) -> Optional[str]:
+    """The virtual register ``instr`` defines, if any."""
+    op = instr.op
+    if op in ("const", "load", "local_load", "addr_local", "global_load",
+              "addr_global", "func_addr"):
+        return instr.args[0]
+    if op in ("bin", "cmp"):
+        return instr.args[1]
+    if op in ("call", "icall", "rtcall"):
+        return instr.args[0]  # may be None for void calls
+    return None
+
+
+def instr_uses(instr: IRInstr) -> List[str]:
+    """Virtual registers ``instr`` reads (constants filtered out)."""
+    op = instr.op
+    a = instr.args
+    raw: List[object] = []
+    if op == "bin" or op == "cmp":
+        raw = [a[2], a[3]]
+    elif op == "load":
+        raw = [a[1]]
+    elif op == "store":
+        raw = [a[0], a[2]]
+    elif op == "local_load" or op == "global_load":
+        raw = [a[2]]
+    elif op == "local_store" or op == "global_store":
+        raw = [a[1], a[2]]
+    elif op == "call" or op == "rtcall":
+        raw = list(a[2])
+    elif op == "icall":
+        raw = [a[1]] + list(a[2])
+    elif op == "cbr":
+        raw = [a[0]]
+    elif op == "ret":
+        raw = [a[0]] if a and a[0] is not None else []
+    elif op == "out":
+        raw = [a[0]]
+    return [v for v in raw if isinstance(v, str)]
+
+
+def verify_module(module: Module, *, target: Optional[str] = None) -> FindingsReport:
+    """Verify ``module``; returns a (possibly empty) findings report."""
+    report = FindingsReport(target=target or f"ir:{module.name}")
+    global_names = {g.name for g in module.globals}
+    seen_globals: Set[str] = set()
+    for gv in module.globals:
+        if gv.name in seen_globals:
+            report.add("IR004", f"{module.name}/{gv.name}", "duplicate global")
+        seen_globals.add(gv.name)
+
+    for fn in module.functions.values():
+        _verify_function(module, fn, global_names, report)
+    return report
+
+
+def _verify_function(
+    module: Module, fn: Function, global_names: Set[str], report: FindingsReport
+) -> None:
+    if not fn.blocks:
+        report.add("IR007", fn.name, "function has no basic blocks")
+        return
+
+    labels: Set[str] = set()
+    for block in fn.blocks:
+        if block.label in labels:
+            report.add("IR003", f"{fn.name}/{block.label}", "duplicate block label")
+        labels.add(block.label)
+
+    structurally_ok = True
+    for block in fn.blocks:
+        where = f"{fn.name}/{block.label}"
+        if block.terminator is None:
+            report.add("IR002", where, "block does not end in a terminator")
+            structurally_ok = False
+        for index, instr in enumerate(block.instrs):
+            if instr.op in TERMINATORS and index != len(block.instrs) - 1:
+                report.add("IR002", where, f"terminator {instr.op!r} mid-block")
+                structurally_ok = False
+            if not _verify_instr(module, fn, where, instr, labels, global_names, report):
+                structurally_ok = False
+
+    # Dataflow only makes sense over a structurally sound CFG.
+    if structurally_ok:
+        _verify_def_before_use(fn, report)
+
+
+def _verify_instr(
+    module: Module,
+    fn: Function,
+    where: str,
+    instr: IRInstr,
+    labels: Set[str],
+    global_names: Set[str],
+    report: FindingsReport,
+) -> bool:
+    op = instr.op
+
+    def site() -> str:  # lazy: repr(instr) only pays off when a finding fires
+        return f"{where}: {instr}"
+
+    if op not in OPCODES:
+        report.add("IR001", site(), f"unknown opcode {op!r}")
+        return False
+    expected = _ARITY[op]
+    if expected is not None and len(instr.args) != expected:
+        report.add("IR001", site(), f"{op} expects {expected} args, got {len(instr.args)}")
+        return False
+
+    ok = True
+    if op == "bin" and instr.args[0] not in BIN_OPS:
+        report.add("IR001", site(), f"unknown binary op {instr.args[0]!r}")
+        ok = False
+    if op == "cmp" and instr.args[0] not in CMP_PREDS:
+        report.add("IR001", site(), f"unknown predicate {instr.args[0]!r}")
+        ok = False
+    if op in ("local_load", "local_store", "addr_local"):
+        local = instr.args[1] if op != "local_store" else instr.args[0]
+        if local not in fn.locals and local not in fn.params:
+            report.add("IR004", site(), f"unknown local {local!r}")
+            ok = False
+    if op in ("global_load", "global_store", "addr_global"):
+        gname = instr.args[1] if op != "global_store" else instr.args[0]
+        if gname not in global_names:
+            report.add("IR004", site(), f"unknown global {gname!r}")
+            ok = False
+    if op in ("call", "func_addr"):
+        fname = instr.args[1]
+        callee = module.functions.get(fname)
+        if callee is None:
+            report.add("IR004", site(), f"unknown function {fname!r}")
+            ok = False
+        elif op == "call" and len(instr.args[2]) != len(callee.params):
+            report.add(
+                "IR005",
+                site(),
+                f"call passes {len(instr.args[2])} args, "
+                f"{fname} takes {len(callee.params)}",
+                expected=len(callee.params),
+                actual=len(instr.args[2]),
+            )
+            ok = False
+    if op == "rtcall" and len(instr.args[2]) > _MAX_RTCALL_ARGS:
+        report.add(
+            "IR005",
+            site(),
+            f"rtcall passes {len(instr.args[2])} args, "
+            f"runtime services take at most {_MAX_RTCALL_ARGS}",
+        )
+        ok = False
+    if op == "br" and instr.args[0] not in labels:
+        report.add("IR003", site(), f"unknown label {instr.args[0]!r}")
+        ok = False
+    if op == "cbr":
+        for label in instr.args[1:3]:
+            if label not in labels:
+                report.add("IR003", site(), f"unknown label {label!r}")
+                ok = False
+    return ok
+
+
+def _successors(block_instrs: List[IRInstr]) -> List[str]:
+    terminator = block_instrs[-1]
+    if terminator.op == "br":
+        return [terminator.args[0]]
+    if terminator.op == "cbr":
+        return list(terminator.args[1:3])
+    return []
+
+
+def _verify_def_before_use(fn: Function, report: FindingsReport) -> None:
+    """Dominance-lite must-analysis: every use is defined on all paths.
+
+    ``in[B]`` = intersection of ``out[P]`` over predecessors P (TOP for
+    unvisited); walking a block, each use must be in the running defined
+    set.  Reported once per (block, vreg) to keep the noise bounded.
+    """
+    index: Dict[str, int] = {b.label: i for i, b in enumerate(fn.blocks)}
+    preds: Dict[str, List[str]] = {b.label: [] for b in fn.blocks}
+    for block in fn.blocks:
+        for succ in _successors(block.instrs):
+            preds[succ].append(block.label)
+
+    TOP = None  # lattice top: "not yet reached"
+    in_sets: Dict[str, Optional[frozenset]] = {b.label: TOP for b in fn.blocks}
+    in_sets[fn.blocks[0].label] = frozenset()
+
+    # Iterate to fixpoint; sets only shrink (or leave TOP), so this
+    # terminates quickly on the small functions the toolchain emits.
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            label = block.label
+            if label != fn.blocks[0].label:
+                merged: Optional[frozenset] = TOP
+                for pred in preds[label]:
+                    pred_out = _block_out(fn, index[pred], in_sets[pred])
+                    if pred_out is TOP:
+                        continue
+                    merged = pred_out if merged is TOP else (merged & pred_out)
+                if merged is not TOP and merged != in_sets[label]:
+                    if in_sets[label] is TOP or merged != in_sets[label]:
+                        in_sets[label] = merged
+                        changed = True
+
+    for block in fn.blocks:
+        live = in_sets[block.label]
+        if live is TOP:
+            continue  # unreachable block: no path, nothing to prove
+        defined: Set[str] = set(live)
+        flagged: Set[str] = set()
+        for instr in block.instrs:
+            for use in instr_uses(instr):
+                if use not in defined and use not in flagged:
+                    report.add(
+                        "IR006",
+                        f"{fn.name}/{block.label}: {instr}",
+                        f"vreg {use!r} may be used before definition",
+                        vreg=use,
+                    )
+                    flagged.add(use)
+            dst = instr_def(instr)
+            if dst is not None:
+                defined.add(dst)
+
+
+def _block_out(
+    fn: Function, block_index: int, in_set: Optional[frozenset]
+) -> Optional[frozenset]:
+    if in_set is None:
+        return None
+    defs = set(in_set)
+    for instr in fn.blocks[block_index].instrs:
+        dst = instr_def(instr)
+        if dst is not None:
+            defs.add(dst)
+    return frozenset(defs)

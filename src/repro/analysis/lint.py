@@ -1,0 +1,215 @@
+"""The lint driver behind ``python -m repro lint``.
+
+Sweeps a corpus (the SPEC-like suite, the webserver modules, or a
+generated browser-scale corpus) through the full verification stack —
+IR verifier, compile, binary invariant checker, loader, guard-page check
+— once per seed, aggregates every finding, and (with at least two seeds)
+reuses the per-seed binaries for a diversification-entropy audit at zero
+extra compiles.  CI gates on an empty findings list.
+
+``--run`` additionally executes each (module, seed) cell through the
+session :class:`~repro.eval.engine.ExperimentEngine` with
+``RunRequest.verify`` set, so dynamic faults surface as ``LINT001``
+findings next to the static ones.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis import entropy as entropy_mod
+from repro.analysis.findings import Finding, FindingsReport
+from repro.core.config import R2CConfig
+from repro.toolchain.ir import Module
+
+CORPORA = ("spec", "webserver", "browser")
+
+#: Named configs lint can sweep (default: the paper's full configuration).
+CONFIGS: Dict[str, Callable[..., R2CConfig]] = {
+    "full": lambda seed: R2CConfig.full(seed=seed),
+    "full-push": lambda seed: R2CConfig.full(seed=seed, btra_mode="push"),
+    "push": R2CConfig.btra_push_only,
+    "avx": R2CConfig.btra_avx_only,
+    "btdp": R2CConfig.btdp_only,
+    "prolog": R2CConfig.prolog_only,
+    "layout": R2CConfig.layout_only,
+    "oia": R2CConfig.oia_only,
+    "baseline": R2CConfig.baseline,
+}
+
+
+def build_corpus(corpus: str, *, quick: bool = False) -> List[Tuple[str, Module]]:
+    """Materialize the named corpus as (name, module) pairs."""
+    if corpus == "spec":
+        from repro.workloads.spec import SPEC_BENCHMARKS, build_spec_benchmark
+
+        return [(name, build_spec_benchmark(name, scale=1)) for name in SPEC_BENCHMARKS]
+    if corpus == "webserver":
+        from repro.workloads.webserver import SERVERS, build_webserver
+
+        requests = 30 if quick else 150
+        return [
+            (server, build_webserver(server, requests=requests)) for server in SERVERS
+        ]
+    if corpus == "browser":
+        from repro.workloads.browser import generate_browser_corpus
+
+        functions = 60 if quick else 300
+        return [("browser", generate_browser_corpus(functions=functions, seed=0))]
+    raise ValueError(f"unknown corpus {corpus!r}; choose from {CORPORA}")
+
+
+@dataclass
+class LintTargetResult:
+    """Verification outcome for one module across the seed sweep."""
+
+    name: str
+    seeds: List[int]
+    findings: List[Finding] = field(default_factory=list)
+    audit: Optional[entropy_mod.EntropyAudit] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+@dataclass
+class LintReport:
+    """The full lint sweep: corpus x config x seeds."""
+
+    corpus: str
+    config_name: str
+    seeds: List[int]
+    targets: List[LintTargetResult] = field(default_factory=list)
+
+    @property
+    def findings(self) -> List[Finding]:
+        return [finding for target in self.targets for finding in target.findings]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "corpus": self.corpus,
+                "config": self.config_name,
+                "seeds": self.seeds,
+                "ok": self.ok,
+                "findings": [
+                    {
+                        "target": target.name,
+                        "rule": finding.rule,
+                        "where": finding.where,
+                        "message": finding.message,
+                    }
+                    for target in self.targets
+                    for finding in target.findings
+                ],
+            },
+            sort_keys=True,
+            indent=2,
+        )
+
+
+def lint_module(
+    name: str,
+    module: Module,
+    config_for_seed: Callable[[int], R2CConfig],
+    seeds: List[int],
+    *,
+    run: bool = False,
+) -> LintTargetResult:
+    """Run the full verification stack over one module."""
+    from repro.core.compiler import compile_module
+    from repro.machine.loader import load_binary
+
+    result = LintTargetResult(name=name, seeds=list(seeds))
+
+    report = FindingsReport(target=f"ir:{name}")
+    from repro.analysis import verify_binary, verify_loaded, verify_module
+
+    report.extend(verify_module(module, target=f"ir:{name}"))
+    result.findings.extend(report)
+    if not report.ok:
+        return result  # broken IR: downstream reports would be noise
+
+    binaries = []
+    for seed in seeds:
+        # Verification hooks are forced off for lint's own compiles: lint
+        # *collects* findings per seed rather than dying on the first one.
+        config = config_for_seed(seed).replace(verify=False)
+        binary = compile_module(module, config)
+        binaries.append(binary)
+        bin_report = verify_binary(binary, target=f"{name}/seed{seed}")
+        result.findings.extend(bin_report)
+        if bin_report.ok:
+            process = load_binary(binary, seed=seed)
+            result.findings.extend(verify_loaded(process, target=f"{name}/seed{seed}"))
+
+    if len(binaries) >= 2:
+        result.audit = entropy_mod.audit_binaries(binaries, list(seeds))
+
+    if run and result.ok:
+        _lint_run(name, module, config_for_seed, seeds, result)
+    return result
+
+
+def _lint_run(
+    name: str,
+    module: Module,
+    config_for_seed: Callable[[int], R2CConfig],
+    seeds: List[int],
+    result: LintTargetResult,
+) -> None:
+    """Execute each cell under ``RunRequest.verify``; faults become findings."""
+    from repro.analysis.findings import VerificationError
+    from repro.eval.engine import RunRequest, get_session_engine
+
+    engine = get_session_engine()
+    for seed in seeds:
+        request = RunRequest(
+            module=module,
+            config=config_for_seed(seed).replace(verify=False),
+            load_seed=seed,
+            verify=True,
+            label=f"lint/{name}/seed{seed}",
+        )
+        try:
+            record = engine.run(request)
+        except VerificationError as error:
+            result.findings.extend(error.report)
+            continue
+        if record.exit_code != 0:
+            result.findings.append(
+                Finding(
+                    rule="LINT001",
+                    where=f"{name}/seed{seed}",
+                    message=f"workload exited {record.exit_code} under verification",
+                    detail={"exit_code": record.exit_code},
+                )
+            )
+
+
+def run_lint(
+    corpus: str = "spec",
+    *,
+    seeds: int = 3,
+    config: str = "full",
+    quick: bool = False,
+    run: bool = False,
+) -> LintReport:
+    """Lint ``corpus`` under the named config across ``seeds`` seeds."""
+    if config not in CONFIGS:
+        raise ValueError(f"unknown config {config!r}; choose from {sorted(CONFIGS)}")
+    config_for_seed = CONFIGS[config]
+    seed_list = list(range(1, seeds + 1))
+    report = LintReport(corpus=corpus, config_name=config, seeds=seed_list)
+    for name, module in build_corpus(corpus, quick=quick):
+        report.targets.append(
+            lint_module(name, module, config_for_seed, seed_list, run=run)
+        )
+    return report

@@ -19,12 +19,21 @@ import copy
 from typing import Optional
 
 from repro.core.config import R2CConfig
-from repro.core.pass_manager import build_plan
+from repro.core.pass_manager import (
+    build_plan,
+    verification_enabled,
+    verify_binary,
+    verify_module,
+)
 from repro.core.runtime import make_btdp_constructor
 from repro.toolchain.binary import Binary
 from repro.toolchain.ir import Module
 from repro.toolchain.linker import link_module
 from repro.toolchain.opt import optimize_module
+
+
+#: (source fingerprint, opt_level) pairs whose optimized IR verified clean.
+_CLEAN_IR: set = set()
 
 
 class R2CCompiler:
@@ -37,8 +46,17 @@ class R2CCompiler:
         self, module: Module, *, entry: str = "main", name: Optional[str] = None
     ) -> Binary:
         working = copy.deepcopy(module)
+        verifying = verification_enabled(self.config)
         if self.config.opt_level:
             optimize_module(working, self.config.opt_level)
+        if verifying:
+            # The optimized IR is a function of (source, opt_level), so a
+            # clean verdict is memoized under that key — re-verifying the
+            # same module across seeds/configs would re-prove a proof.
+            ir_key = (module.fingerprint(), self.config.opt_level)
+            if ir_key not in _CLEAN_IR:
+                verify_module(working, self.config)
+                _CLEAN_IR.add(ir_key)
         plan, disabled = build_plan(working, self.config)
         binary = link_module(working, plan, entry=entry, name=name or module.name)
         if self.config.enable_btdp:
@@ -50,6 +68,8 @@ class R2CCompiler:
         # content-address this binary for repro.eval.engine's compile cache.
         binary.metadata["module_fingerprint"] = module.fingerprint()
         binary.metadata["config_digest"] = self.config.digest()
+        if verifying:
+            verify_binary(binary, self.config)
         return binary
 
     def with_seed(self, seed: int) -> "R2CCompiler":

@@ -33,6 +33,13 @@ class R2CConfig:
     #: identically to baseline and protected builds, like the paper's -O3.
     opt_level: int = 0
 
+    #: Run the :mod:`repro.analysis` verifiers as a post-condition of every
+    #: compilation (raising :class:`~repro.analysis.findings.VerificationError`
+    #: on any finding).  ``None`` defers to the session default
+    #: (:func:`repro.analysis.default_verify` — on across the test suite,
+    #: off otherwise); ``True``/``False`` force it per-compilation.
+    verify: Optional[bool] = None
+
     # ---- BTRAs (Sections 4.1, 5.1) ----
     enable_btra: bool = False
     btra_mode: str = "avx"  # "push" | "avx"

@@ -22,8 +22,38 @@ from repro.core.passes.prolog_traps import plan_prolog_traps
 from repro.core.passes.regalloc_shuffle import plan_regalloc_shuffle
 from repro.core.passes.stack_slot_shuffle import plan_slot_shuffle
 from repro.rng import DiversityRng
+from repro.toolchain.binary import Binary
 from repro.toolchain.ir import Module
 from repro.toolchain.plan import FunctionPlan, ModulePlan
+
+
+def verification_enabled(config: R2CConfig) -> bool:
+    """Should this compilation run the post-condition verifiers?"""
+    if config.verify is not None:
+        return config.verify
+    from repro.analysis import default_verify
+
+    return default_verify()
+
+
+def verify_module(module: Module, config: R2CConfig) -> None:
+    """Pre-pipeline hook: the IR entering the pipeline must be clean.
+
+    Raises :class:`~repro.analysis.findings.VerificationError` with the
+    full findings report on any violation.
+    """
+    from repro.analysis import irverify
+
+    irverify.verify_module(module, target=f"ir:{module.name}").raise_if_findings()
+
+
+def verify_binary(binary: Binary, config: R2CConfig) -> None:
+    """Post-pipeline hook: the linked binary must satisfy every invariant
+    the plan promised — stack balance, unwindability, BTRA/BTDP/trap
+    placement.  Raises on any finding."""
+    from repro.analysis import binverify
+
+    binverify.verify_binary(binary).raise_if_findings()
 
 
 def build_plan(module: Module, config: R2CConfig) -> Tuple[ModulePlan, Set[str]]:

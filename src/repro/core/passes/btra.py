@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import List, Set, Tuple
 
+from repro.analysis.findings import fail
 from repro.core.config import R2CConfig
 from repro.core.passes import call_sites, count_call_sites, ensure_call_site_plans
 from repro.core.passes.booby_traps import draw_btra_target
@@ -64,7 +65,11 @@ def plan_btras(
     """Fill per-function post-offsets and per-call-site BTRA choices."""
     traps = plan.booby_trap_functions
     if not traps:
-        raise ValueError("BTRA pass requires booby-trap functions in the plan")
+        fail(
+            "PLAN001",
+            module.name,
+            "BTRA pass requires booby-trap functions in the plan",
+        )
 
     def is_r2c(name: str) -> bool:
         fn = module.functions.get(name)

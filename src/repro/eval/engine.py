@@ -85,6 +85,14 @@ class RunRequest:
     session default; both backends produce identical counters, so the
     choice only affects wall-clock time — but it still participates in the
     run key so measurements from different backends are never conflated.
+
+    ``verify`` runs the :mod:`repro.analysis` checkers over the compiled
+    binary and the loaded process before execution, raising
+    :class:`~repro.analysis.findings.VerificationError` on any finding.
+    Verification is a pure assertion — it cannot change the deterministic
+    payload — so, like wall-clock timing, it is *excluded* from the run
+    key: a verified record satisfies later unverified requests for the
+    same cell.
     """
 
     module: Module
@@ -95,6 +103,7 @@ class RunRequest:
     heap_size: int = DEFAULT_HEAP_SIZE
     attribute_tags: bool = False
     backend: Optional[str] = None
+    verify: bool = False
     label: str = ""
 
     @property
@@ -125,7 +134,14 @@ DEFAULT_EXECUTION_BACKEND = "reference"
 #: backend belongs here: backends are required to produce identical
 #: counters, so canonical payloads compare equal across backends (the
 #: differential tests rely on exactly that).
-ENVIRONMENT_FIELDS = ("compile_seconds", "run_seconds", "cache_hit", "worker", "backend")
+ENVIRONMENT_FIELDS = (
+    "compile_seconds",
+    "run_seconds",
+    "cache_hit",
+    "worker",
+    "backend",
+    "verified",
+)
 
 
 @dataclass
@@ -151,6 +167,7 @@ class RunRecord:
     instruction_count: int
     tag_cycles: Optional[Dict[str, float]] = None
     backend: str = DEFAULT_EXECUTION_BACKEND
+    verified: bool = False
     compile_seconds: float = 0.0
     run_seconds: float = 0.0
     cache_hit: bool = False
@@ -245,8 +262,16 @@ def _execute_request(cache: CompileCache, request: RunRequest) -> RunRecord:
         request.module, request.config
     )
     backend = request.backend or DEFAULT_EXECUTION_BACKEND
+    if request.verify:
+        from repro.analysis import verify_binary
+
+        verify_binary(binary, target=request.label or None).raise_if_findings()
     started = time.perf_counter()
     process = load_binary(binary, seed=request.load_seed, heap_size=request.heap_size)
+    if request.verify:
+        from repro.analysis import verify_loaded
+
+        verify_loaded(process, target=request.label or None).raise_if_findings()
     process.register_service("attack_hook", lambda proc, cpu: 0)
     cpu = CPU(
         process,
@@ -279,6 +304,7 @@ def _execute_request(cache: CompileCache, request: RunRequest) -> RunRecord:
         instruction_count=binary.instruction_count(),
         tag_cycles=dict(result.tag_cycles) if request.attribute_tags else None,
         backend=backend,
+        verified=request.verify,
         compile_seconds=compile_seconds,
         run_seconds=run_seconds,
         cache_hit=cache_hit,

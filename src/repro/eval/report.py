@@ -164,3 +164,37 @@ def render_decomposition(data: Dict[str, float]) -> str:
             continue
         lines.append(f"  {tag:24s} {share:6.1f}% of added cycles")
     return "\n".join(lines)
+
+
+def render_lint(report) -> str:
+    """Render an :class:`repro.analysis.lint.LintReport`: one row per
+    target with its findings count and entropy-audit headline, followed by
+    every finding's rule ID, site, and message."""
+    lines = [
+        f"Lint: corpus={report.corpus} config={report.config_name} "
+        f"seeds={report.seeds}",
+        "",
+        f"{'target':12s} {'findings':>9s} {'gadget surv':>12s} "
+        f"{'layout bits':>12s} {'regalloc div':>13s}",
+    ]
+    for target in report.targets:
+        if target.audit is not None:
+            survival = f"{target.audit.mean_survival:12.4f}"
+            layout = f"{target.audit.layout_entropy_bits:12.2f}"
+            regalloc = f"{target.audit.regalloc_divergence:>13.1%}"
+        else:
+            survival = f"{'-':>12s}"
+            layout = f"{'-':>12s}"
+            regalloc = f"{'-':>13s}"
+        lines.append(
+            f"{target.name:12s} {len(target.findings):>9d} {survival} {layout} {regalloc}"
+        )
+    lines.append("")
+    if report.ok:
+        lines.append("0 findings — corpus is clean.")
+    else:
+        lines.append(f"{len(report.findings)} finding(s):")
+        for target in report.targets:
+            for finding in target.findings:
+                lines.append(f"  [{finding.rule}] {finding.where}: {finding.message}")
+    return "\n".join(lines)

@@ -136,6 +136,19 @@ class Mem:
             parts.append(f"{self.offset:#x}")
         return f"Mem[{'+'.join(parts)}]"
 
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Mem)
+            and self.base == other.base
+            and self.offset == other.offset
+            and self.index == other.index
+            and self.scale == other.scale
+            and self.symbol == other.symbol
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.base, self.offset, self.index, self.scale, self.symbol))
+
 
 class Label:
     """A pre-link branch target, local to one function."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.findings import fail
 from repro.errors import ToolchainError
 from repro.machine.isa import Imm, Instruction, Label, Mem, Op, Reg, WORD
 from repro.toolchain.callconv import (
@@ -200,8 +201,11 @@ class _FunctionLowerer:
             for instr in block.instrs:
                 self._lower_instr(instr)
                 if self.push_depth != 0:
-                    raise ToolchainError(
-                        f"{self.fn.name}: unbalanced push depth after {instr}"
+                    fail(
+                        "PLAN004",
+                        self.fn.name,
+                        f"unbalanced push depth after {instr}",
+                        depth=self.push_depth,
                     )
         return LoweredFunction(
             name=self.fn.name,
@@ -257,8 +261,11 @@ class _FunctionLowerer:
             index = fplan.btdp_indices[j] if j < len(fplan.btdp_indices) else 0
             source = self.mplan.btdp_source_symbol
             if source is None:
-                raise ToolchainError(
-                    f"{self.fn.name}: BTDP count set but module has no BTDP source"
+                fail(
+                    "PLAN005",
+                    self.fn.name,
+                    "BTDP count set but module has no BTDP source",
+                    btdp_count=fplan.btdp_count,
                 )
             if self.mplan.btdp_source_is_pointer:
                 self.emit(Op.MOV, SCRATCH0, Mem(symbol=source), tag="btdp")
@@ -487,8 +494,11 @@ class _FunctionLowerer:
         post = csplan.post_count
         if csplan.enabled:
             if pre % 2 != 0:
-                raise ToolchainError(
-                    f"{self.fn.name}: call site {cs_index} has odd pre-BTRA count"
+                fail(
+                    "PLAN002",
+                    f"{self.fn.name} call site {cs_index}",
+                    f"odd pre-BTRA count {pre}",
+                    pre_count=pre,
                 )
             if csplan.use_avx:
                 self._emit_btra_avx(csplan, cs_index, ret_label)
@@ -552,7 +562,12 @@ class _FunctionLowerer:
             self.emit(Op.PUSH, Imm(offset, symbol=symbol), tag="btra-setup")
         if csplan.racy:
             if csplan.post_btras:
-                raise ToolchainError("racy BTRA variant cannot carry post-BTRAs")
+                fail(
+                    "PLAN003",
+                    f"{self.fn.name}::{ret_label}",
+                    "racy BTRA variant cannot carry post-BTRAs",
+                    post_count=csplan.post_count,
+                )
             return
         self.emit(
             Op.PUSH, Imm(symbol=f"{self.fn.name}::{ret_label}"), tag="btra-setup"

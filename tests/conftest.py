@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import set_default_verify
 from repro.core.config import R2CConfig
 from repro.core.compiler import compile_module
 from repro.machine.costs import get_costs
@@ -11,6 +12,11 @@ from repro.machine.cpu import CPU
 from repro.machine.loader import load_binary
 from repro.toolchain.builder import IRBuilder
 from repro.toolchain.interp import interpret_module
+
+# Every compilation in the test suite runs the repro.analysis verifiers as
+# a post-condition (R2CConfig.verify=False opts individual tests out, e.g.
+# when deliberately building broken modules).
+set_default_verify(True)
 
 
 def run_compiled(module, config=None, *, load_seed=1, machine="epyc-rome", **cpu_kwargs):

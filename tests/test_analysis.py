@@ -1,0 +1,417 @@
+"""Tests for the repro.analysis static verification layer.
+
+Three tiers, mirroring the layer itself:
+
+* unit tests pinning each verifier rule to a hand-broken input (mutation
+  testing: a flipped BTRA post-offset, an overwritten booby-trap slot, a
+  BTDP retargeted off its guard page — each must yield its exact rule ID);
+* corpus tests proving the full SPEC suite verifies clean across seeds
+  and both BTRA modes (this doubles as the unwind audit: UNWIND001/002/003
+  run over every frame and call-site record of every binary);
+* integration tests for the engine's ``RunRequest.verify`` flag, the
+  entropy auditor's floors, and the ``repro lint`` driver.
+"""
+
+from __future__ import annotations
+
+import json
+from math import log2
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    FindingsReport,
+    RULES,
+    VerificationError,
+    default_verify,
+    entropy,
+    fail,
+    set_default_verify,
+    verify_binary,
+    verify_loaded,
+    verify_module,
+)
+from repro.analysis.lint import CONFIGS, build_corpus, run_lint
+from repro.core.config import R2CConfig
+from repro.core.compiler import compile_module
+from repro.core.passes.btra import plan_btras
+from repro.errors import ToolchainError
+from repro.eval.engine import ExperimentEngine, RunRequest
+from repro.eval.report import render_lint
+from repro.machine.isa import Imm, Op, Reg
+from repro.machine.loader import load_binary
+from repro.toolchain.builder import IRBuilder
+from repro.toolchain.ir import IRInstr
+from repro.toolchain.plan import ModulePlan
+
+SPEC_MODULES = dict(build_corpus("spec", quick=True))
+
+
+def _fresh(module, mode="push", seed=5, **overrides):
+    """Compile without the verify hook so tests mutate, then verify."""
+    config = R2CConfig.full(seed=seed, btra_mode=mode).replace(
+        verify=False, **overrides
+    )
+    return compile_module(module, config)
+
+
+# ---------------------------------------------------------------------------
+# findings model
+# ---------------------------------------------------------------------------
+
+
+def test_unregistered_rule_is_rejected():
+    with pytest.raises(ValueError):
+        Finding(rule="NOPE999", where="x", message="y")
+
+
+def test_every_rule_has_a_description():
+    for rule, description in RULES.items():
+        assert rule[-3:].isdigit() and description
+
+
+def test_fail_raises_verification_error_with_rule():
+    with pytest.raises(VerificationError) as excinfo:
+        fail("PLAN004", "f", "unbalanced", depth=3)
+    assert excinfo.value.rules == ["PLAN004"]
+    assert excinfo.value.report.findings[0].detail == {"depth": 3}
+    # Subclasses ToolchainError so pre-existing except clauses still catch.
+    assert isinstance(excinfo.value, ToolchainError)
+
+
+def test_report_accumulates_and_renders():
+    report = FindingsReport(target="unit")
+    assert report.ok and report.render() == "unit: clean"
+    report.add("STACK001", "f+0x8", "depth -1 underflows", depth=-1)
+    report.add("STACK001", "f+0x10", "depth 2 at ret")
+    report.add("BTRA001", "g+0x4", "wrong return address")
+    assert not report.ok
+    assert report.rules() == ["STACK001", "BTRA001"]
+    assert len(report.by_rule("STACK001")) == 2
+    assert "STACK001 f+0x8" in report.render()
+    assert json.loads(report.findings[0].to_json())["rule"] == "STACK001"
+    with pytest.raises(VerificationError):
+        report.raise_if_findings()
+
+
+def test_default_verify_toggle():
+    previous = set_default_verify(False)
+    try:
+        assert default_verify() is False
+        assert set_default_verify(True) is False
+        assert default_verify() is True
+    finally:
+        set_default_verify(previous)
+
+
+# ---------------------------------------------------------------------------
+# IR verifier
+# ---------------------------------------------------------------------------
+
+
+def _two_block_module():
+    ir = IRBuilder("broken")
+    fn = ir.function("main")
+    value = fn.add(1, 2)
+    fn.br("exit")
+    fn.new_block("exit")
+    fn.out(value)
+    fn.ret(0)
+    return ir.finish()
+
+
+def test_irverify_accepts_valid_module(simple_module):
+    assert verify_module(simple_module).ok
+
+
+def test_irverify_unknown_opcode_is_ir001():
+    module = _two_block_module()
+    module.functions["main"].blocks[0].instrs.insert(0, IRInstr("frobnicate", ()))
+    assert verify_module(module).rules() == ["IR001"]
+
+
+def test_irverify_missing_terminator_is_ir002():
+    module = _two_block_module()
+    module.functions["main"].blocks[1].instrs.pop()  # drop the ret
+    assert "IR002" in verify_module(module).rules()
+
+
+def test_irverify_unknown_label_is_ir003():
+    module = _two_block_module()
+    block = module.functions["main"].blocks[0]
+    block.instrs[-1] = IRInstr("br", ("nowhere",))
+    assert "IR003" in verify_module(module).rules()
+
+
+def test_irverify_unknown_symbol_is_ir004():
+    module = _two_block_module()
+    block = module.functions["main"].blocks[0]
+    block.instrs.insert(0, IRInstr("global_load", ("%t9", "missing_global", None)))
+    assert "IR004" in verify_module(module).rules()
+
+
+def test_irverify_call_arity_is_ir005(simple_module):
+    # simple_module's main calls double(x) with one argument; add another.
+    main = simple_module.functions["main"]
+    for block in main.blocks:
+        for index, instr in enumerate(block.instrs):
+            if instr.op == "call":
+                dst, callee, args = instr.args
+                block.instrs[index] = IRInstr("call", (dst, callee, tuple(args) + (7,)))
+    assert "IR005" in verify_module(simple_module).rules()
+
+
+def test_irverify_use_before_def_is_ir006():
+    # Diamond where only one path defines the vreg the join consumes —
+    # structurally valid (Module.validate passes) but a dataflow bug.
+    ir = IRBuilder("diamond")
+    fn = ir.function("main")
+    cond = fn.cmp("gt", 1, 0)
+    fn.cbr(cond, "yes", "no")
+    fn.new_block("yes")
+    value = fn.add(1, 2)
+    fn.br("join")
+    fn.new_block("no")
+    fn.br("join")
+    fn.new_block("join")
+    fn.out(value)
+    fn.ret(0)
+    module = ir.finish()
+    report = verify_module(module)
+    assert report.rules() == ["IR006"]
+    assert report.findings[0].detail["vreg"] == value
+
+
+def test_irverify_empty_function_is_ir007():
+    module = _two_block_module()
+    module.functions["main"].blocks.clear()
+    assert verify_module(module).rules() == ["IR007"]
+
+
+def test_compile_hook_rejects_broken_ir():
+    module = _two_block_module()
+    module.functions["main"].blocks[1].instrs.pop()
+    with pytest.raises((VerificationError, ToolchainError)):
+        compile_module(module, R2CConfig.baseline().replace(verify=True))
+
+
+# ---------------------------------------------------------------------------
+# corpus: SPEC verifies clean (doubles as the unwind audit)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["push", "avx"])
+def test_spec_corpus_verifies_clean_across_seeds(mode):
+    """Every SPEC program, >=3 seeds, both BTRA modes: zero findings.
+
+    UNWIND001/002/003 run on every frame and call-site record here, so
+    this is the static unwind audit of the ``.eh_frame`` analogue — any
+    frame-size entry disagreeing with the computed stack depths fails.
+    """
+    for name, module in SPEC_MODULES.items():
+        for seed in (1, 2, 3):
+            binary = _fresh(module, mode=mode, seed=seed)
+            report = verify_binary(binary, target=f"{name}/seed{seed}")
+            assert report.ok, report.render()
+            process = load_binary(binary, seed=seed)
+            loaded = verify_loaded(process, target=f"{name}/seed{seed}")
+            assert loaded.ok, loaded.render()
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_lint_configs_verify_clean_on_one_benchmark(config_name):
+    module = SPEC_MODULES["mcf"]
+    config = CONFIGS[config_name](3).replace(verify=False)
+    binary = compile_module(module, config)
+    report = verify_binary(binary)
+    assert report.ok, report.render()
+
+
+# ---------------------------------------------------------------------------
+# mutation tests: each corruption must yield its exact rule ID
+# ---------------------------------------------------------------------------
+
+
+def test_flipped_post_offset_is_unwind001():
+    binary = _fresh(SPEC_MODULES["mcf"])
+    for record in binary.frame_records.values():
+        if record.protected and record.post_offset > 0:
+            record.post_offset += 1
+            break
+    else:
+        pytest.fail("no protected function with a post offset")
+    report = verify_binary(binary)
+    assert "UNWIND001" in report.rules()
+
+
+def test_shifted_return_address_is_btra001_push_mode():
+    binary = _fresh(SPEC_MODULES["mcf"])
+    for _, instr in binary.text:
+        operand = instr.a
+        if (
+            instr.op is Op.PUSH
+            and isinstance(operand, Imm)
+            and operand.symbol
+            and "::.Lret" in operand.symbol
+        ):
+            instr.a = Imm(operand.value + 8, symbol=operand.symbol)
+            break
+    else:
+        pytest.fail("no pre-written return-address push found")
+    assert verify_binary(binary).rules() == ["BTRA001"]
+
+
+def test_shifted_return_address_is_btra001_avx_mode():
+    binary = _fresh(SPEC_MODULES["mcf"], mode="avx")
+    for index, (offset, symbol, addend) in enumerate(binary.data_relocs):
+        if "::.Lret" in symbol:
+            binary.data_relocs[index] = (offset, symbol, addend + 8)
+            break
+    else:
+        pytest.fail("no return-address relocation in a BTRA array")
+    assert verify_binary(binary).rules() == ["BTRA001"]
+
+
+def test_overwritten_booby_trap_slot_is_btra002():
+    binary = _fresh(SPEC_MODULES["mcf"])
+    traps = set(binary.metadata["booby_trap_functions"])
+    for _, instr in binary.text:
+        operand = instr.a
+        if instr.op is Op.PUSH and isinstance(operand, Imm) and operand.symbol in traps:
+            instr.a = Imm(0, symbol="main")  # a real function, not a trap
+            break
+    else:
+        pytest.fail("no booby-trap push found")
+    assert verify_binary(binary).rules() == ["BTRA002"]
+
+
+def test_btdp_off_guard_page_is_btdp002():
+    # The unsafe_btdp_no_guard ablation points BTDPs at ordinary heap
+    # memory — statically well-formed, so only verify_loaded catches it.
+    binary = _fresh(SPEC_MODULES["mcf"], unsafe_btdp_no_guard=True)
+    assert verify_binary(binary).ok
+    process = load_binary(binary, seed=1)
+    report = verify_loaded(process)
+    assert report.rules() == ["BTDP002"]
+    assert len(report.by_rule("BTDP002")) >= 1
+
+
+def test_enlarged_prologue_sub_is_stack001_and_unwind001():
+    binary = _fresh(SPEC_MODULES["mcf"])
+    for record in sorted(binary.frame_records.values(), key=lambda r: r.entry_offset):
+        if not record.protected:
+            continue
+        for offset, instr in binary.text:
+            if (
+                record.entry_offset <= offset < record.end_offset
+                and instr.op is Op.SUB
+                and instr.a is Reg.RSP
+                and isinstance(instr.b, Imm)
+            ):
+                instr.b = Imm(instr.b.value + 16)  # +16 keeps call parity
+                break
+        else:
+            continue
+        break
+    report = verify_binary(binary)
+    assert "STACK001" in report.rules() and "UNWIND001" in report.rules()
+
+
+def test_non_trap_in_booby_trap_body_is_trap002():
+    binary = _fresh(SPEC_MODULES["mcf"])
+    trap_name = sorted(binary.metadata["booby_trap_functions"])[0]
+    record = binary.frame_records[trap_name]
+    for offset, instr in binary.text:
+        if record.entry_offset <= offset < record.end_offset:
+            instr.op = Op.NOP
+            break
+    assert verify_binary(binary).rules() == ["TRAP002"]
+
+
+def test_btra_planner_without_traps_is_plan001(simple_module):
+    with pytest.raises(VerificationError) as excinfo:
+        plan_btras(simple_module, R2CConfig.full(seed=1), None, ModulePlan(), set())
+    assert excinfo.value.rules == ["PLAN001"]
+
+
+# ---------------------------------------------------------------------------
+# entropy auditor
+# ---------------------------------------------------------------------------
+
+
+def test_entropy_audit_needs_two_variants(simple_module):
+    binary = _fresh(simple_module)
+    with pytest.raises(ValueError):
+        entropy.audit_binaries([binary], [1])
+
+
+def test_identical_variants_share_every_gadget(simple_module):
+    binary = _fresh(simple_module)
+    audit = entropy.audit_binaries([binary, binary], [1, 1])
+    assert audit.mean_survival == 1.0
+    assert audit.layout_entropy_bits == 0.0
+    assert audit.regalloc_divergence == 0.0
+
+
+def test_diversified_spec_variants_hit_entropy_floors():
+    """The floors a silently-deterministic 'diversified' build would fail."""
+    audit = entropy.audit(SPEC_MODULES["perlbench"], R2CConfig.full(0), [1, 2, 3])
+    assert audit.mean_survival <= 0.05
+    assert audit.max_survival <= 0.10
+    assert audit.layout_entropy_bits > 1.0
+    assert audit.max_layout_entropy_bits == pytest.approx(log2(3))
+    assert audit.regalloc_divergence > 0.05
+    assert audit.slot_divergence > 0.05
+    assert "entropy audit over 3 variants" in audit.render()
+
+
+def test_gadget_extraction_finds_ret_suffixes(simple_module):
+    binary = _fresh(simple_module)
+    gadgets = entropy.extract_gadgets(binary, window=2)
+    assert gadgets
+    rets = [g for g in gadgets if len(g[1]) == 1]
+    assert all(g[1][-1] == "ret" for g in gadgets)
+    assert rets, "every ret yields at least the 1-instruction gadget"
+
+
+# ---------------------------------------------------------------------------
+# engine + lint integration
+# ---------------------------------------------------------------------------
+
+
+def test_engine_verify_flag_marks_record(simple_module):
+    with ExperimentEngine(jobs=1) as engine:
+        record = engine.run(
+            RunRequest(
+                module=simple_module,
+                config=R2CConfig.full(seed=2).replace(verify=False),
+                verify=True,
+                label="analysis/verify",
+            )
+        )
+        assert record.verified and record.exit_code == 42  # main returns acc
+        # Verification is excluded from the run key: the verified record
+        # satisfies the unverified request for the same cell from cache.
+        again = engine.run(
+            RunRequest(
+                module=simple_module,
+                config=R2CConfig.full(seed=2).replace(verify=False),
+            )
+        )
+        assert again is record, "verify must not participate in the run key"
+
+
+def test_run_lint_webserver_quick_is_clean():
+    report = run_lint(corpus="webserver", seeds=2, quick=True)
+    assert report.ok, render_lint(report)
+    assert len(report.targets) >= 2
+    assert all(t.audit is not None for t in report.targets)
+    payload = json.loads(report.to_json())
+    assert payload["ok"] and payload["corpus"] == "webserver"
+    assert "0 findings" in render_lint(report)
+
+
+def test_run_lint_rejects_unknown_config():
+    with pytest.raises(ValueError):
+        run_lint(config="definitely-not-a-config")

@@ -1,0 +1,71 @@
+"""Property test: every pass maps verifier-clean IR to verifier-clean
+IR and verifier-clean binaries (ISSUE satellite c).
+
+Random programs come from the deterministic generator the equivalence
+suite already uses; Hypothesis explores the (program, compile seed,
+BTRA mode) space.  For each example:
+
+* the generated IR must pass the IR verifier;
+* the optimizer must preserve verifier-cleanliness of the IR;
+* the full R2C pass pipeline must emit a binary the invariant checker
+  proves clean, and a loaded process whose BTDPs all hit guard pages —
+  under both push- and AVX2-mode BTRA setup and multiple seeds.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.test_equivalence import generate_random_module
+
+from repro.analysis import verify_binary, verify_loaded, verify_module
+from repro.core.config import R2CConfig
+from repro.core.compiler import compile_module
+from repro.machine.loader import load_binary
+from repro.toolchain.opt import optimize_module
+
+COMPILE_SEEDS = (1, 2, 3)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    program_seed=st.integers(min_value=0, max_value=10_000),
+    compile_seed=st.sampled_from(COMPILE_SEEDS),
+    mode=st.sampled_from(["push", "avx"]),
+)
+def test_passes_preserve_verifier_cleanliness(program_seed, compile_seed, mode):
+    module = generate_random_module(program_seed)
+    ir_report = verify_module(module)
+    assert ir_report.ok, ir_report.render()
+
+    config = R2CConfig.full(seed=compile_seed, btra_mode=mode).replace(verify=False)
+
+    optimized = copy.deepcopy(module)
+    optimize_module(optimized, config.opt_level)
+    opt_report = verify_module(optimized, target=f"opt:{module.name}")
+    assert opt_report.ok, opt_report.render()
+
+    binary = compile_module(module, config)
+    bin_report = verify_binary(binary, target=f"{module.name}/s{compile_seed}/{mode}")
+    assert bin_report.ok, bin_report.render()
+
+    process = load_binary(binary, seed=compile_seed)
+    loaded = verify_loaded(process)
+    assert loaded.ok, loaded.render()
+
+
+@settings(max_examples=10, deadline=None)
+@given(program_seed=st.integers(min_value=0, max_value=10_000))
+def test_baseline_pipeline_also_verifier_clean(program_seed):
+    # The no-diversification pipeline must satisfy the same invariants —
+    # the checker proves calling-convention conformance, not R2C-ness.
+    module = generate_random_module(program_seed)
+    binary = compile_module(module, R2CConfig.baseline().replace(verify=False))
+    report = verify_binary(binary)
+    assert report.ok, report.render()
