@@ -8,6 +8,7 @@ Usage::
     python -m repro table2 table3 ...    # any subset, in order
     python -m repro all --quick --jobs 4 # everything, reduced inputs
     python -m repro lint --corpus spec   # static verification sweep
+    python -m repro chaos --jobs 4       # fault-injection matrix
 
 ``--quick`` shrinks benchmark subsets and seed counts so a full pass
 finishes in a couple of minutes; omit it for the benchmark-suite-sized
@@ -108,6 +109,70 @@ def run_decomposition(quick: bool) -> str:
     return report.render_decomposition(data)
 
 
+def run_supervised(quick: bool) -> str:
+    rows = experiments.experiment_supervised(trials=1 if quick else 3)
+    return report.render_supervised(rows)
+
+
+def run_chaos_command(args) -> int:
+    """``python -m repro chaos``: fault-injection matrix over the engine.
+
+    Exits 1 unless every injected fault surfaced as its expected outcome
+    with a full request-ordered record list, so CI can gate on it.
+    """
+    from repro.reliability.chaos import run_chaos
+
+    started = time.perf_counter()
+    chaos_report = run_chaos(
+        jobs=args.jobs, backend=args.backend, seed=args.seed, timeout=args.timeout
+    )
+    print(report.render_chaos(chaos_report))
+    print(f"[{time.perf_counter() - started:.1f}s]")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(chaos_report.to_json() + "\n")
+        print(f"[chaos report -> {args.out}]")
+    return 0 if chaos_report.ok else 1
+
+
+def chaos_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Inject every fault kind (bitflips, allocator OOM, "
+        "compile errors, worker crashes, worker hangs) into real workloads "
+        "and assert the experiment engine degrades them into structured "
+        "failure records instead of losing the batch.",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes (default: 2; crashes/hangs need a pool)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help="execution backend (default: reference)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N", help="fault-plan seed (default: 0)"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="per-batch wall-clock deadline in seconds (default: 10)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="write the chaos report as JSON"
+    )
+    args = parser.parse_args(argv)
+    return run_chaos_command(args)
+
+
 def run_lint_command(args) -> int:
     """``python -m repro lint``: the static verification sweep.
 
@@ -193,6 +258,7 @@ EXPERIMENTS = {
     "sweeps": (run_sweeps, "Parameter sweeps: BTRA count / BTDP density"),
     "optlevels": (run_optlevels, "Overhead by optimization level"),
     "decomposition": (run_decomposition, "Overhead decomposition by instruction tag"),
+    "supervised": (run_supervised, "Section 4.2: restart policies vs crash probing"),
 }
 
 
@@ -203,6 +269,9 @@ def main(argv=None) -> int:
         # lint has its own flag set (corpus/seeds/config), so it gets its
         # own parser instead of riding the experiment options.
         return lint_main(list(argv[1:]))
+    if argv and argv[0] == "chaos":
+        # chaos likewise: it builds its own fault-armed engine.
+        return chaos_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the R2C paper's tables and figures.",
@@ -241,6 +310,7 @@ def main(argv=None) -> int:
         for name, (_, title) in EXPERIMENTS.items():
             print(f"  {name:13s} {title}")
         print(f"  {'lint':13s} Static verification sweep (own flags; see lint --help)")
+        print(f"  {'chaos':13s} Fault-injection matrix (own flags; see chaos --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments

@@ -16,6 +16,7 @@ and classifies the outcome.  Multi-probe attacks (Blind ROP, PIROP) drive
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.attacks.monitor import DefenseMonitor
@@ -51,6 +52,19 @@ def output_success(output, *, require_arg: bool = False) -> bool:
     return False
 
 
+@dataclass
+class ProbeResult:
+    """Everything one probe produced, for callers that need more than the
+    (status, result) pair — the reactive supervisor builds crash reports
+    from the exception and the post-mortem CPU/process state."""
+
+    status: str  # "success" | "clean" | "detected" | "crashed"
+    result: Optional[ExecutionResult]
+    exception: Optional[MachineError]
+    cpu: CPU
+    process: object
+
+
 class VictimSession:
     """One deployed victim + the attacker's reference knowledge."""
 
@@ -66,6 +80,7 @@ class VictimSession:
         layout_info: Optional[VictimLayoutInfo] = None,
         rerandomize_on_restart: bool = False,
         shadow_stack: bool = False,
+        backend: str = "reference",
     ):
         if build_seed is not None:
             config = config.replace(seed=build_seed)
@@ -79,6 +94,7 @@ class VictimSession:
         # same layout.
         self.rerandomize_on_restart = rerandomize_on_restart
         self.shadow_stack = shadow_stack
+        self.backend = backend
         self._spawn_count = 0
         self.binary = compile_module(self.module, config)
         # The attacker's own copy: identical software, independently built.
@@ -111,6 +127,7 @@ class VictimSession:
             get_costs("epyc-rome"),
             instruction_budget=5_000_000,
             shadow_stack=self.shadow_stack,
+            backend=self.backend,
         )
         return process, cpu
 
@@ -122,6 +139,12 @@ class VictimSession:
         Returns (status, result): status is "success", "clean" (ran to
         exit without reaching the goal), "detected", or "crashed".
         """
+        probe = self.probe_ex(hook, attacker_seed=attacker_seed)
+        return probe.status, probe.result
+
+    def probe_ex(self, hook: AttackFn, *, attacker_seed: int = 0) -> ProbeResult:
+        """Like :meth:`probe`, returning the full :class:`ProbeResult`
+        (exception + post-mortem CPU/process for crash triage)."""
         process, cpu = self.spawn()
         fired = {}
 
@@ -145,13 +168,13 @@ class VictimSession:
         try:
             result = cpu.run()
         except MachineError as exc:
+            status = self.monitor.classify(exc)
             # Payload-then-crash still counts: the attacker's code ran.
             if output_success(process.output):
-                self.monitor.classify(exc)
-                return "success", None
-            status = self.monitor.classify(exc)
-            return status, None
-        return ("success" if output_success(result.output) else "clean"), result
+                status = "success"
+            return ProbeResult(status, None, exc, cpu, process)
+        status = "success" if output_success(result.output) else "clean"
+        return ProbeResult(status, result, None, cpu, process)
 
 
 def run_attack(

@@ -87,3 +87,17 @@ class ExecutionLimitExceeded(MachineError):
 
 class AllocatorError(ReproError):
     """Heap allocator misuse (double free, corrupt chunk, OOM)."""
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately injected by a reliability :class:`FaultPlan` rule.
+
+    Carries the rule's kind and ID so the engine can attribute the failure
+    record to the rule that produced it (``python -m repro chaos`` asserts
+    on exactly this attribution).
+    """
+
+    def __init__(self, kind: str, rule_id: str, message: str = ""):
+        self.kind = kind
+        self.rule_id = rule_id
+        super().__init__(message or f"injected {kind} ({rule_id})")

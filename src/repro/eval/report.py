@@ -152,6 +152,77 @@ def render_engine_summary(summary) -> str:
             f"{worker}:{count}" for worker, count in sorted(summary.worker_runs.items())
         )
         lines.append(f"  workers ({summary.workers}): {utilization}")
+    failures = getattr(summary, "failures", None)
+    if failures is not None and not failures.clean:
+        outcomes = ", ".join(
+            f"{outcome}:{count}" for outcome, count in sorted(failures.by_outcome.items())
+        )
+        lines.append(f"  failures: {failures.failures} ({outcomes})")
+        if failures.by_rule:
+            rules = ", ".join(
+                f"{rule}:{count}" for rule, count in sorted(failures.by_rule.items())
+            )
+            lines.append(f"  injected by rule: {rules}")
+        if failures.pool_rebuilds or failures.quarantined or failures.serial_fallbacks:
+            lines.append(
+                f"  recovery: {failures.pool_rebuilds} pool rebuilds, "
+                f"{failures.quarantined} quarantined, "
+                f"{failures.serial_fallbacks} serial fallbacks"
+            )
+    return "\n".join(lines)
+
+
+def render_supervised(rows: Dict[object, Dict[str, object]]) -> str:
+    """Render the supervised-restart experiment: per (victim, policy)
+    attack tallies plus the supervisor's detection/restart counters."""
+    lines = [
+        "Supervised restart policies vs crash-probing attack "
+        "(medians across trials; latency = probes until first trap trip "
+        "or crash storm)",
+        "",
+        f"{'victim':10s} {'policy':20s} {'success':>8s} {'probes':>7s} "
+        f"{'crashes':>8s} {'restarts':>9s} {'denials':>8s} "
+        f"{'backoff s':>10s} {'latency':>8s}",
+    ]
+    for (victim, policy), row in rows.items():
+        tallies = row["tallies"]
+        total = sum(tallies.values())
+        latency = row["detection_latency"]
+        lines.append(
+            f"{victim:10s} {policy:20s} "
+            f"{tallies.get('success', 0):>4d}/{total:<3d} "
+            f"{row['probes']:>7.0f} {row['crashes']:>8.0f} "
+            f"{row['restarts']:>9.0f} {row['denials']:>8.0f} "
+            f"{row['backoff_seconds']:>10.1f} "
+            f"{'-' if latency is None else format(latency, '.0f'):>8s}"
+        )
+    return "\n".join(lines)
+
+
+def render_chaos(report) -> str:
+    """Render a :class:`repro.reliability.chaos.ChaosReport`: the injected
+    matrix cell-by-cell, then the verdict."""
+    lines = [
+        f"Chaos matrix: jobs={report.jobs} backend={report.backend} "
+        f"seed={report.seed} timeout={report.timeout:g}s",
+        "",
+        f"{'cell':32s} {'outcome':8s} {'class':18s} {'rule':16s} ok",
+    ]
+    for cell in report.cells:
+        lines.append(
+            f"{cell.label:32s} {cell.outcome:8s} {cell.fault_class:18s} "
+            f"{cell.rule:16s} {'yes' if cell.ok else 'NO'}"
+        )
+    lines.append("")
+    if report.summary is not None:
+        lines.append(render_engine_summary(report.summary))
+        lines.append("")
+    if report.ok:
+        lines.append("chaos: OK — every injected fault surfaced as its expected outcome")
+    else:
+        lines.append(f"chaos: {len(report.violations)} violation(s):")
+        for violation in report.violations:
+            lines.append(f"  {violation}")
     return "\n".join(lines)
 
 

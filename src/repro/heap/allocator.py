@@ -52,8 +52,21 @@ class Allocator:
         self._live: Dict[int, int] = {}
         self.allocated_bytes = 0
         self.peak_allocated = 0
+        # Fault injection (repro.reliability.faults): once armed, the
+        # allocator fails every allocation after the next ``after_allocs``
+        # successful ones, modelling heap exhaustion mid-run.
+        self._oom_after: Optional[int] = None
+        self._oom_rule = ""
+        self._allocs_since_arm = 0
 
     # -- public API ------------------------------------------------------------
+
+    def arm_oom(self, after_allocs: int, rule_id: str = "") -> None:
+        """Arm injected OOM: allow ``after_allocs`` more allocations, then
+        raise :class:`AllocatorError` on every subsequent one."""
+        self._oom_after = max(0, int(after_allocs))
+        self._oom_rule = rule_id
+        self._allocs_since_arm = 0
 
     def malloc(self, size: int) -> int:
         """Allocate ``size`` bytes, 16-byte aligned.  Returns the payload address."""
@@ -97,6 +110,14 @@ class Allocator:
     def _allocate(self, size: int, align: int) -> int:
         if size <= 0:
             raise AllocatorError(f"bad allocation size {size}")
+        if self._oom_after is not None:
+            if self._allocs_since_arm >= self._oom_after:
+                raise AllocatorError(
+                    f"injected out-of-memory"
+                    f" ({self._oom_rule or 'fault-injection'})"
+                    f" allocating {size} bytes"
+                )
+            self._allocs_since_arm += 1
         for i, (start, end) in enumerate(self._free):
             payload = _align_up(start + HEADER_SIZE, align)
             chunk_end = payload + _align_up(size, ALIGN)

@@ -192,6 +192,22 @@ class Memory:
     def load_word_raw(self, address: int) -> int:
         return int.from_bytes(self.load_raw(address, WORD_BYTES), "little")
 
+    # -- fault injection -----------------------------------------------------
+
+    def corrupt_bit(self, address: int, bit: int) -> None:
+        """Flip one bit in a mapped page, ignoring permissions.
+
+        The reliability layer's bitflip injection (:mod:`repro.reliability.
+        faults`) models single-event upsets / rowhammer-style corruption:
+        the flip bypasses permissions (like the hardware would) but still
+        requires the page to be mapped — flipping unmapped addresses is a
+        plan bug, not a simulated fault.
+        """
+        page = self._pages.get(page_base(address))
+        if page is None:
+            raise MemoryFault("write", address, "unmapped")
+        page.data[address & PAGE_MASK] ^= 1 << (bit & 7)
+
     # -- internals ----------------------------------------------------------
 
     def _copy_out(self, address: int, size: int) -> bytes:

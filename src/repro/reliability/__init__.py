@@ -1,0 +1,50 @@
+"""Reactive reliability layer: fault injection, crash triage, supervision.
+
+R2C's reactive half (Sections 4.2, 7.2) needs three things this package
+provides: deterministic *fault injection* to exercise every failure path
+on demand (:mod:`repro.reliability.faults`, driven by ``python -m repro
+chaos``), defender-side *crash triage* into structured reports
+(:mod:`repro.reliability.crashreport`), and a *supervisor* that drives
+restart policies against crash-probing attacks
+(:mod:`repro.reliability.supervisor`).
+
+The chaos driver (:mod:`repro.reliability.chaos`) imports the eval engine
+and is intentionally *not* re-exported here: the engine type-checks
+against :class:`FaultPlan`, so pulling chaos in at package-import time
+would create a cycle.
+"""
+
+from repro.reliability.crashreport import (
+    DETECTION_TRIAGES,
+    TRIAGE_BENIGN,
+    TRIAGE_BTDP,
+    TRIAGE_BTRA,
+    TRIAGE_CFI,
+    CrashReport,
+    triage_fault,
+)
+from repro.reliability.faults import BITFLIP_REGIONS, FAULT_KINDS, FaultPlan, FaultRule
+from repro.reliability.supervisor import (
+    STATUS_UNAVAILABLE,
+    RestartPolicy,
+    SupervisedSession,
+    SupervisorStats,
+)
+
+__all__ = [
+    "BITFLIP_REGIONS",
+    "CrashReport",
+    "DETECTION_TRIAGES",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "RestartPolicy",
+    "STATUS_UNAVAILABLE",
+    "SupervisedSession",
+    "SupervisorStats",
+    "TRIAGE_BENIGN",
+    "TRIAGE_BTDP",
+    "TRIAGE_BTRA",
+    "TRIAGE_CFI",
+    "triage_fault",
+]

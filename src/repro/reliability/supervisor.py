@@ -1,0 +1,189 @@
+"""The reactive supervisor: crash triage + restart policies (Section 4.2).
+
+R2C turns attacks into faults; this module models the defender that has to
+*do something* with those faults.  :class:`SupervisedSession` wraps a
+:class:`~repro.attacks.scenario.VictimSession` — it is a drop-in for every
+multi-probe attack (Blind ROP, PIROP, AOCR all drive ``session.probe`` and
+``session.monitor`` only) — and supervises the worker the way a
+fork-server master would:
+
+* every fault is captured into a :class:`~repro.reliability.crashreport.
+  CrashReport` (registers, faulting address, stack window, backtrace,
+  triage);
+* a :class:`RestartPolicy` decides what the next ``spawn`` means:
+  ``none`` (the service stays down after its first crash), ``restart-same``
+  (same image, same ASLR — the Section 4 fork-server behaviour Blind ROP
+  exploits), or ``restart-rerandomize`` (MARDU-style: every respawn rolls
+  new load-time dice, breaking cross-probe inference);
+* restarts are **rate-limited with exponential backoff**: consecutive
+  crashes escalate a virtual backoff delay (the simulator has no real
+  clock; delays are accounted, not slept) and a restart budget caps total
+  respawns — a crash-storm both slows the prober down and is *flagged* as
+  a detection once :attr:`crash_storm_threshold` consecutive crashes pile
+  up, which is how a monoculture victim with no traps still detects
+  Blind ROP probing;
+* detection latency — the probe index at which the defender first knew it
+  was under attack, via trap trip or crash storm — lands in
+  :class:`SupervisorStats` for the ``supervised`` experiment's per-policy
+  comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.attacks.scenario import AttackFn, ProbeResult, VictimSession
+from repro.core.config import R2CConfig
+from repro.reliability.crashreport import CrashReport
+
+#: Probe status reported while the service is down (crashed and not
+#: restarted).  Attack loops treat any non-"success" status as a failed
+#: probe, so existing attacks need no changes to face a dead service.
+STATUS_UNAVAILABLE = "unavailable"
+
+
+class RestartPolicy(str, enum.Enum):
+    """What the supervisor does after a worker crash."""
+
+    NONE = "none"
+    RESTART_SAME = "restart-same"
+    RESTART_RERANDOMIZE = "restart-rerandomize"
+
+    @classmethod
+    def parse(cls, name: "str | RestartPolicy") -> "RestartPolicy":
+        if isinstance(name, RestartPolicy):
+            return name
+        try:
+            return cls(name)
+        except ValueError:
+            options = ", ".join(policy.value for policy in cls)
+            raise ValueError(f"unknown restart policy {name!r}; choose from {options}")
+
+
+@dataclass
+class SupervisorStats:
+    """Counters the supervised experiment reports per policy."""
+
+    probes: int = 0
+    crashes: int = 0
+    #: Crashes whose triage was a trap trip (BTRA/BTDP/CFI).
+    trap_detections: int = 0
+    restarts: int = 0
+    #: Probes refused because the service was down.
+    denials: int = 0
+    #: Probe index of the first trap-trip report.
+    first_trap_probe: Optional[int] = None
+    #: Probe index at which the crash-storm threshold was first crossed.
+    first_storm_probe: Optional[int] = None
+    #: Accounted (virtual) seconds spent in restart backoff.
+    backoff_seconds: float = 0.0
+
+    @property
+    def detection_latency(self) -> Optional[int]:
+        """Probes until the defender first knew — trap trip or crash storm."""
+        candidates = [
+            probe
+            for probe in (self.first_trap_probe, self.first_storm_probe)
+            if probe is not None
+        ]
+        return min(candidates) if candidates else None
+
+
+class SupervisedSession(VictimSession):
+    """A :class:`VictimSession` under defender-side supervision.
+
+    ``max_restarts`` is the restart budget; once exhausted the service
+    stays down (every further probe is denied).  ``backoff_base`` /
+    ``backoff_cap`` shape the per-crash exponential backoff, accounted in
+    :attr:`SupervisorStats.backoff_seconds` against a virtual clock.
+    """
+
+    def __init__(
+        self,
+        config: R2CConfig,
+        *,
+        policy: "str | RestartPolicy" = RestartPolicy.RESTART_SAME,
+        max_restarts: int = 100_000,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 60.0,
+        crash_storm_threshold: int = 8,
+        **session_kwargs,
+    ):
+        self.policy = RestartPolicy.parse(policy)
+        session_kwargs.setdefault(
+            "rerandomize_on_restart",
+            self.policy is RestartPolicy.RESTART_RERANDOMIZE,
+        )
+        super().__init__(config, **session_kwargs)
+        self.max_restarts = max_restarts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.crash_storm_threshold = crash_storm_threshold
+        self.stats = SupervisorStats()
+        self.reports: List[CrashReport] = []
+        self._down = False
+        self._consecutive_crashes = 0
+
+    # -- service state -----------------------------------------------------
+
+    @property
+    def available(self) -> bool:
+        return not self._down
+
+    @property
+    def spawns(self) -> int:
+        return self._spawn_count
+
+    # -- supervised probing ------------------------------------------------
+
+    def probe(self, hook: AttackFn, *, attacker_seed: int = 0):
+        """One probe against the *supervised* service.
+
+        Returns (status, result) exactly like the parent, with one more
+        status: ``"unavailable"`` when the service is down (crashed under
+        policy ``none``, or the restart budget is spent).
+        """
+        self.stats.probes += 1
+        if self._down:
+            self.stats.denials += 1
+            return STATUS_UNAVAILABLE, None
+        probe = self.probe_ex(hook, attacker_seed=attacker_seed)
+        if probe.exception is None:
+            # The worker survived: the storm, if any, has broken.
+            self._consecutive_crashes = 0
+            return probe.status, probe.result
+        self._on_crash(probe)
+        return probe.status, probe.result
+
+    def _on_crash(self, probe: ProbeResult) -> None:
+        report = CrashReport.from_fault(
+            probe.exception, probe.cpu, probe.process, sequence=self.stats.probes
+        )
+        self.reports.append(report)
+        self.stats.crashes += 1
+        self._consecutive_crashes += 1
+        if report.detected:
+            self.stats.trap_detections += 1
+            if self.stats.first_trap_probe is None:
+                self.stats.first_trap_probe = self.stats.probes
+        if (
+            self._consecutive_crashes >= self.crash_storm_threshold
+            and self.stats.first_storm_probe is None
+        ):
+            self.stats.first_storm_probe = self.stats.probes
+        if self.policy is RestartPolicy.NONE:
+            self._down = True
+            return
+        if self.stats.restarts >= self.max_restarts:
+            self._down = True
+            return
+        # Exponential, capped backoff against the virtual clock: each
+        # consecutive crash doubles the delay a real supervisor would
+        # impose before the respawn (accounted, not slept).
+        exponent = min(self._consecutive_crashes - 1, 30)
+        self.stats.backoff_seconds += min(
+            self.backoff_cap, self.backoff_base * (2 ** exponent)
+        )
+        self.stats.restarts += 1

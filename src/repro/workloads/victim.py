@@ -53,8 +53,14 @@ class VictimLayoutInfo:
     hook_chain: tuple = ("validate", "parse_headers", "process_request", "main")
 
 
-def build_victim(requests: int = 6) -> Module:
-    """Build the victim module; ``requests`` request iterations."""
+def build_victim(requests: int = 6, heap_churn: int = 0) -> Module:
+    """Build the victim module; ``requests`` request iterations.
+
+    ``heap_churn`` adds that many short-lived malloc/free pairs per request
+    — allocation traffic for the chaos matrix's injected-OOM cells to
+    starve.  The default of 0 leaves the module identical to previous
+    builds (compile caches and recorded fingerprints stay valid).
+    """
     ir = IRBuilder("victim")
 
     ir.global_var("default_param", init=(BENIGN_PARAM,))
@@ -121,6 +127,9 @@ def build_victim(requests: int = 6) -> Module:
     process.store_local("obj", obj)
     scratch = process.rtcall("malloc", [64])
     process.store_local("scratch", scratch)
+    for _ in range(heap_churn):
+        churn = process.rtcall("malloc", [48])
+        process.rtcall("free", [churn], void=True)
     process.store_local("hdrbuf", process.param("req_id"), index=0)
     process.store_local("hdrbuf", 0x4745_5420, index=1)  # "GET "
     ck = process.call("checksum_block", [process.load_local("obj"), 3])

@@ -28,13 +28,21 @@ SERVERS = ("nginx", "apache")
 
 
 def build_webserver(
-    server: str = "nginx", requests: int = 150, footprint_pages: int = 48
+    server: str = "nginx",
+    requests: int = 150,
+    footprint_pages: int = 48,
+    vulnerable: bool = False,
 ) -> Module:
     """Build a webserver module that processes ``requests`` requests.
 
     ``footprint_pages`` models the server's steady-state buffers/caches —
     small compared to SPEC working sets, which is why the fixed BTDP cost
     dominates webserver RSS (Section 6.2.5).
+
+    ``vulnerable=True`` plants the same ``attack_hook`` vulnerability the
+    victim workload carries inside ``handle_request``, so supervised-attack
+    scenarios can target a realistic server.  The default leaves the module
+    byte-identical to previous builds (benchmark fingerprints stay valid).
     """
     if server not in SERVERS:
         raise ValueError(f"unknown server {server!r}; choose from {SERVERS}")
@@ -64,6 +72,10 @@ def build_webserver(
     handle = ir.function("handle_request", params=["req_id"])
     handle.local("resp")
     parsed = handle.call("parse_request", [handle.param("req_id")])
+    if vulnerable:
+        # The same arbitrary read/write hook the victim workload exposes,
+        # planted mid-request while the routing state is live on the stack.
+        handle.rtcall("attack_hook", [], void=True)
     route = handle.mod(parsed, len(handlers))
     target = handle.load_global("route_table", route)
     result = handle.icall(target, [parsed])

@@ -238,6 +238,46 @@ def test_decomposition_requests_carry_tag_cycles():
     assert tagged.cycles == plain.cycles
 
 
+def test_from_json_ignores_unknown_keys():
+    """Forward compatibility: JSONL written by a newer schema (extra
+    fields) must load, not raise, and round-trip what this build knows."""
+    module = small_module()
+    with ExperimentEngine() as engine:
+        record = engine.run(
+            RunRequest(module=module, config=R2CConfig.full(seed=1), load_seed=1)
+        )
+    import json
+
+    data = json.loads(record.to_json())
+    data["future_field"] = {"nested": True}
+    data["another_new_counter"] = 7
+    loaded = RunRecord.from_json(json.dumps(data))
+    assert loaded == record
+    assert RunRecord.from_json(loaded.to_json()) == loaded
+
+
+def test_set_session_engine_closes_replaced_engine():
+    """Replacing the session engine must not leak the old worker pool."""
+    from repro.eval.engine import get_session_engine, set_session_engine
+
+    original = get_session_engine()
+    first = ExperimentEngine(jobs=2)
+    second = ExperimentEngine(jobs=2)
+    try:
+        set_session_engine(first)
+        # Force the pool into existence, then replace the engine.
+        first.submit(request_set(small_module(), seeds=(1, 2)))
+        assert first._pool is not None
+        set_session_engine(second)
+        assert first._pool is None  # closed by the replacement
+        # Re-setting the same engine must not close it.
+        set_session_engine(second)
+    finally:
+        set_session_engine(original)
+        first.close()
+        second.close()
+
+
 def test_engine_summary_counts():
     module = small_module()
     with ExperimentEngine() as engine:
