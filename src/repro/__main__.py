@@ -9,6 +9,8 @@ Usage::
     python -m repro all --quick --jobs 4 # everything, reduced inputs
     python -m repro lint --corpus spec   # static verification sweep
     python -m repro chaos --jobs 4       # fault-injection matrix
+    python -m repro profile xz           # hot-path cycle profile
+    python -m repro bench --quick --out BENCH_smoke.json
 
 ``--quick`` shrinks benchmark subsets and seed counts so a full pass
 finishes in a couple of minutes; omit it for the benchmark-suite-sized
@@ -246,6 +248,154 @@ def lint_main(argv) -> int:
         engine.close()
 
 
+def profile_main(argv) -> int:
+    """``python -m repro profile``: per-function/per-RIP cycle attribution.
+
+    Compiles one SPEC workload, runs it with a :class:`CycleProfiler`
+    attached, and prints the hot-path report.  ``--folded`` writes
+    flamegraph-ready folded stacks; ``--trace`` additionally captures the
+    compile/run span tree as Chrome ``trace_event`` JSON (load it in
+    ``chrome://tracing`` or Perfetto).
+    """
+    from repro.core.compiler import R2CCompiler
+    from repro.core.config import R2CConfig
+    from repro.machine.loader import load_binary, make_cpu
+    from repro.obs.profiler import CycleProfiler
+    from repro.obs.tracing import enable_tracing, get_collector
+    from repro.workloads.spec import SPEC_BENCHMARKS, build_spec_benchmark
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Profile one workload: per-function and per-address "
+        "cycle attribution with BTRA-safe call stacks.",
+    )
+    parser.add_argument(
+        "workload", choices=sorted(SPEC_BENCHMARKS), help="SPEC workload to profile"
+    )
+    parser.add_argument(
+        "--config",
+        default="full",
+        choices=("baseline", "full"),
+        help="diversification config (default: full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, metavar="N", help="compile seed (default: 1)"
+    )
+    parser.add_argument(
+        "--load-seed", type=int, default=1, metavar="N", help="loader ASLR seed"
+    )
+    parser.add_argument(
+        "--machine", default="epyc-rome", help="cost model (default: epyc-rome)"
+    )
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help="execution backend (default: reference; profiles are "
+        "byte-identical either way)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=15, metavar="N", help="rows per report table"
+    )
+    parser.add_argument(
+        "--folded", default=None, metavar="PATH", help="write folded stacks for flamegraphs"
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH", help="write Chrome trace_event JSON"
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace:
+        enable_tracing(True)
+    started = time.perf_counter()
+    if args.config == "full":
+        config = R2CConfig.full(seed=args.seed)
+    else:
+        config = R2CConfig.baseline(seed=args.seed)
+    module = build_spec_benchmark(args.workload)
+    binary = R2CCompiler(config).compile(module)
+    process = load_binary(binary, seed=args.load_seed)
+    cpu = make_cpu(process, args.machine, backend=args.backend, attribute_tags=True)
+    profiler = CycleProfiler(cpu)
+    result = cpu.run()
+    print(profiler.report(top=args.top))
+    print()
+    counters = result.perf_counters()
+    print(
+        f"counters: {counters.instructions} instructions, "
+        f"{counters.cycles:.0f} cycles, "
+        f"i-cache miss rate {100.0 * counters.icache_miss_rate:.2f}%, "
+        f"{counters.branches_taken}/{counters.branches} branches taken, "
+        f"{counters.btra_events} BTRA / {counters.btdp_events} BTDP events"
+    )
+    print(f"[{time.perf_counter() - started:.1f}s]")
+    if args.folded:
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            handle.write(profiler.folded_stacks() + "\n")
+        print(f"[folded stacks -> {args.folded}]")
+    if args.trace:
+        get_collector().write_chrome_trace(args.trace)
+        print(f"[chrome trace -> {args.trace}]")
+    return 0
+
+
+def bench_main(argv) -> int:
+    """``python -m repro bench``: the benchmark regression harness.
+
+    Writes one schema-versioned JSON artifact per invocation (the
+    benchmark trajectory) and exits 1 on any non-ok cell or
+    schema-invalid artifact, so CI can gate on it.
+    """
+    import json
+
+    from repro.obs.bench import run_bench, validate
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run the (workload x config) benchmark grid and record "
+        "simulated cycles, cache behavior, wall time, and engine failures "
+        "as a repro-bench/v1 JSON artifact.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced workload set for CI smoke legs"
+    )
+    parser.add_argument(
+        "--backend",
+        default="reference",
+        choices=available_backends(),
+        help="execution backend (default: reference)",
+    )
+    parser.add_argument(
+        "--machine", default="epyc-rome", help="cost model (default: epyc-rome)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes (default: 1)"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="artifact path (default: BENCH_<date>.json)",
+    )
+    args = parser.parse_args(argv)
+    out = args.out or time.strftime("BENCH_%Y-%m-%d.json")
+
+    started = time.perf_counter()
+    bench_report = run_bench(
+        backend=args.backend, machine=args.machine, jobs=args.jobs, quick=args.quick
+    )
+    print(report.render_bench(bench_report))
+    print(f"[{time.perf_counter() - started:.1f}s]")
+    text = bench_report.to_json()
+    problems = validate(json.loads(text))
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"[bench artifact -> {out}]")
+    for problem in problems:
+        print(f"schema violation: {problem}", file=sys.stderr)
+    return 0 if bench_report.ok and not problems else 1
+
+
 EXPERIMENTS = {
     "table1": (run_table1, "Table 1: component overheads"),
     "table2": (run_table2, "Table 2: call frequencies"),
@@ -272,6 +422,10 @@ def main(argv=None) -> int:
     if argv and argv[0] == "chaos":
         # chaos likewise: it builds its own fault-armed engine.
         return chaos_main(list(argv[1:]))
+    if argv and argv[0] == "profile":
+        return profile_main(list(argv[1:]))
+    if argv and argv[0] == "bench":
+        return bench_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the R2C paper's tables and figures.",
@@ -311,6 +465,8 @@ def main(argv=None) -> int:
             print(f"  {name:13s} {title}")
         print(f"  {'lint':13s} Static verification sweep (own flags; see lint --help)")
         print(f"  {'chaos':13s} Fault-injection matrix (own flags; see chaos --help)")
+        print(f"  {'profile':13s} Hot-path cycle profile (own flags; see profile --help)")
+        print(f"  {'bench':13s} Benchmark regression harness (own flags; see bench --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments

@@ -26,6 +26,7 @@ from repro.core.pass_manager import (
     verify_module,
 )
 from repro.core.runtime import make_btdp_constructor
+from repro.obs.tracing import span
 from repro.toolchain.binary import Binary
 from repro.toolchain.ir import Module
 from repro.toolchain.linker import link_module
@@ -45,32 +46,38 @@ class R2CCompiler:
     def compile(
         self, module: Module, *, entry: str = "main", name: Optional[str] = None
     ) -> Binary:
-        working = copy.deepcopy(module)
-        verifying = verification_enabled(self.config)
-        if self.config.opt_level:
-            optimize_module(working, self.config.opt_level)
-        if verifying:
-            # The optimized IR is a function of (source, opt_level), so a
-            # clean verdict is memoized under that key — re-verifying the
-            # same module across seeds/configs would re-prove a proof.
-            ir_key = (module.fingerprint(), self.config.opt_level)
-            if ir_key not in _CLEAN_IR:
-                verify_module(working, self.config)
-                _CLEAN_IR.add(ir_key)
-        plan, disabled = build_plan(working, self.config)
-        binary = link_module(working, plan, entry=entry, name=name or module.name)
-        if self.config.enable_btdp:
-            binary.constructors.append(make_btdp_constructor(self.config))
-        binary.metadata["config"] = self.config
-        binary.metadata["r2c_disabled_functions"] = sorted(disabled)
-        # Cache identity: fingerprint of the *source* module (not the
-        # diversified working copy) plus the config digest.  Together they
-        # content-address this binary for repro.eval.engine's compile cache.
-        binary.metadata["module_fingerprint"] = module.fingerprint()
-        binary.metadata["config_digest"] = self.config.digest()
-        if verifying:
-            verify_binary(binary, self.config)
-        return binary
+        with span("compile/module", "compile", module=module.name, seed=self.config.seed):
+            working = copy.deepcopy(module)
+            verifying = verification_enabled(self.config)
+            if self.config.opt_level:
+                with span("compile/opt", "compile", level=self.config.opt_level):
+                    optimize_module(working, self.config.opt_level)
+            if verifying:
+                # The optimized IR is a function of (source, opt_level), so a
+                # clean verdict is memoized under that key — re-verifying the
+                # same module across seeds/configs would re-prove a proof.
+                ir_key = (module.fingerprint(), self.config.opt_level)
+                if ir_key not in _CLEAN_IR:
+                    with span("compile/verify-ir", "compile"):
+                        verify_module(working, self.config)
+                    _CLEAN_IR.add(ir_key)
+            with span("compile/plan", "compile"):
+                plan, disabled = build_plan(working, self.config)
+            with span("compile/link", "compile"):
+                binary = link_module(working, plan, entry=entry, name=name or module.name)
+            if self.config.enable_btdp:
+                binary.constructors.append(make_btdp_constructor(self.config))
+            binary.metadata["config"] = self.config
+            binary.metadata["r2c_disabled_functions"] = sorted(disabled)
+            # Cache identity: fingerprint of the *source* module (not the
+            # diversified working copy) plus the config digest.  Together they
+            # content-address this binary for repro.eval.engine's compile cache.
+            binary.metadata["module_fingerprint"] = module.fingerprint()
+            binary.metadata["config_digest"] = self.config.digest()
+            if verifying:
+                with span("compile/verify-binary", "compile"):
+                    verify_binary(binary, self.config)
+            return binary
 
     def with_seed(self, seed: int) -> "R2CCompiler":
         """A compiler identical to this one but reseeded."""

@@ -21,6 +21,7 @@ from repro.core.passes.nop_insertion import plan_nops
 from repro.core.passes.prolog_traps import plan_prolog_traps
 from repro.core.passes.regalloc_shuffle import plan_regalloc_shuffle
 from repro.core.passes.stack_slot_shuffle import plan_slot_shuffle
+from repro.obs.tracing import span
 from repro.rng import DiversityRng
 from repro.toolchain.binary import Binary
 from repro.toolchain.ir import Module
@@ -73,31 +74,42 @@ def build_plan(module: Module, config: R2CConfig) -> Tuple[ModulePlan, Set[str]]
     # Section 7.4.2: protected stack-arg functions with unprotected direct
     # callers cannot use offset-invariant addressing — R2C is disabled for
     # them, exactly as the paper patched WebKit and Chromium.
-    disabled: Set[str] = find_oia_incompatible(module) if config.oia_in_force else set()
-
+    disabled: Set[str] = set()
     if config.oia_in_force:
-        for name, fn in module.functions.items():
-            if fn.protected and name not in disabled:
-                plan.functions[name].offset_invariant_args = True
+        with span("compile/pass:oia", "compile"):
+            disabled = find_oia_incompatible(module)
+            for name, fn in module.functions.items():
+                if fn.protected and name not in disabled:
+                    plan.functions[name].offset_invariant_args = True
 
     if config.enable_btra or config.booby_traps_standalone:
-        inject_booby_traps(config, rng, plan)
+        with span("compile/pass:booby-traps", "compile"):
+            inject_booby_traps(config, rng, plan)
     if config.enable_btra:
-        plan_btras(module, config, rng, plan, disabled)
+        with span("compile/pass:btra", "compile"):
+            plan_btras(module, config, rng, plan, disabled)
     if config.enable_nop_insertion:
-        plan_nops(module, config, rng, plan, disabled)
+        with span("compile/pass:nop-insertion", "compile"):
+            plan_nops(module, config, rng, plan, disabled)
     if config.enable_prolog_traps:
-        plan_prolog_traps(module, config, rng, plan, disabled)
+        with span("compile/pass:prolog-traps", "compile"):
+            plan_prolog_traps(module, config, rng, plan, disabled)
     if config.enable_stack_slot_shuffle:
-        plan_slot_shuffle(module, config, rng, plan, disabled)
+        with span("compile/pass:stack-slot-shuffle", "compile"):
+            plan_slot_shuffle(module, config, rng, plan, disabled)
     if config.enable_regalloc_shuffle:
-        plan_regalloc_shuffle(module, config, rng, plan, disabled)
+        with span("compile/pass:regalloc-shuffle", "compile"):
+            plan_regalloc_shuffle(module, config, rng, plan, disabled)
     if config.enable_btdp:
-        plan_btdps(module, config, rng, plan, disabled)
+        with span("compile/pass:btdp", "compile"):
+            plan_btdps(module, config, rng, plan, disabled)
     if config.enable_cph:
-        plan_cph(module, config, rng, plan)
+        with span("compile/pass:cph", "compile"):
+            plan_cph(module, config, rng, plan)
     if config.enable_global_shuffle:
-        plan_global_order(module, config, rng, plan)
-    plan_function_order(module, config, rng, plan)
+        with span("compile/pass:global-shuffle", "compile"):
+            plan_global_order(module, config, rng, plan)
+    with span("compile/pass:function-shuffle", "compile"):
+        plan_function_order(module, config, rng, plan)
 
     return plan, disabled

@@ -60,6 +60,7 @@ from repro.errors import AllocatorError, InjectedFault, MachineError, ReproError
 from repro.machine.costs import get_costs
 from repro.machine.cpu import CPU, ExecutionResult
 from repro.machine.loader import load_binary
+from repro.obs.tracing import enable_tracing, span, trace_capture, tracing_enabled
 from repro.toolchain.binary import Binary
 from repro.toolchain.ir import Module
 
@@ -161,6 +162,9 @@ ENVIRONMENT_FIELDS = (
     "worker",
     "backend",
     "verified",
+    # Trace spans carry wall-clock durations, so they are environmental by
+    # definition even though the span *tree* is deterministic.
+    "spans",
 )
 
 
@@ -196,6 +200,9 @@ class RunRecord:
     text_bytes: int
     instruction_count: int
     tag_cycles: Optional[Dict[str, float]] = None
+    #: Canonical and backend-invariant like ``icache_misses``; defaulted so
+    #: JSONL written before this field existed still loads.
+    icache_hits: int = 0
     #: ``ok | fault | timeout | error`` — see :data:`OUTCOMES`.
     outcome: str = "ok"
     #: Failure detail for non-ok outcomes: ``{"class", "rule", "message"}``
@@ -207,6 +214,10 @@ class RunRecord:
     run_seconds: float = 0.0
     cache_hit: bool = False
     worker: int = 0
+    #: Trace spans captured while executing this request (exported
+    #: :class:`repro.obs.tracing.Span` dicts), shipped back from pool
+    #: workers; ``None`` unless tracing was enabled.
+    spans: Optional[List[Dict[str, object]]] = None
 
     @property
     def ok(self) -> bool:
@@ -342,6 +353,22 @@ def _execute_request(
 ) -> RunRecord:
     """Compile (through ``cache``), load, run; collect the full record.
 
+    With tracing enabled, the spans completed while executing this
+    request (cache probe, compile, load, verify, run) are captured and
+    attached to the record — pool workers ship them back this way.
+    """
+    with trace_capture() as capture:
+        record = _execute_request_phases(cache, request, plan)
+    if tracing_enabled():
+        record.spans = capture.to_dicts()
+    return record
+
+
+def _execute_request_phases(
+    cache: CompileCache, request: RunRequest, plan: Optional["FaultPlan"] = None
+) -> RunRecord:
+    """The phase sequence of one request, each behind a trace span.
+
     Guest faults (memory faults, booby traps, allocator OOM, budget
     exhaustion) are deterministic outcomes of the request, not host
     errors: they are captured into an ``outcome="fault"`` record that
@@ -354,20 +381,27 @@ def _execute_request(
         compile_rule = plan.rule_of_kind(label, "compile-error")
         if compile_rule is not None:
             raise InjectedFault("compile-error", compile_rule.rule_id)
-    binary, compile_seconds, cache_hit = cache.get_or_compile(
-        request.module, request.config
-    )
+    with span("engine/cache-probe", "engine", label=label) as probe:
+        binary, compile_seconds, cache_hit = cache.get_or_compile(
+            request.module, request.config
+        )
+        probe.set(hit=cache_hit)
     backend = request.backend or DEFAULT_EXECUTION_BACKEND
     if request.verify:
         from repro.analysis import verify_binary
 
-        verify_binary(binary, target=request.label or None).raise_if_findings()
+        with span("engine/verify-binary", "engine"):
+            verify_binary(binary, target=request.label or None).raise_if_findings()
     started = time.perf_counter()
-    process = load_binary(binary, seed=request.load_seed, heap_size=request.heap_size)
+    with span("engine/load", "engine", seed=request.load_seed):
+        process = load_binary(
+            binary, seed=request.load_seed, heap_size=request.heap_size
+        )
     if request.verify:
         from repro.analysis import verify_loaded
 
-        verify_loaded(process, target=request.label or None).raise_if_findings()
+        with span("engine/verify-process", "engine"):
+            verify_loaded(process, target=request.label or None).raise_if_findings()
     process.register_service("attack_hook", lambda proc, cpu: 0)
     if plan is not None:
         plan.apply_process_faults(process, request)
@@ -381,17 +415,18 @@ def _execute_request(
     result = ExecutionResult()
     outcome = "ok"
     failure: Optional[Dict[str, str]] = None
-    try:
-        # Passing the result in keeps the partial counters on a fault.
-        cpu.run(result=result)
-    except (MachineError, AllocatorError) as exc:
-        outcome = "fault"
-        rule_id = ""
-        if plan is not None:
-            kind = "alloc-oom" if isinstance(exc, AllocatorError) else "bitflip"
-            matched = plan.rule_of_kind(label, kind)
-            rule_id = matched.rule_id if matched is not None else ""
-        failure = {"class": type(exc).__name__, "rule": rule_id, "message": str(exc)}
+    with span("engine/run", "engine", backend=backend):
+        try:
+            # Passing the result in keeps the partial counters on a fault.
+            cpu.run(result=result)
+        except (MachineError, AllocatorError) as exc:
+            outcome = "fault"
+            rule_id = ""
+            if plan is not None:
+                kind = "alloc-oom" if isinstance(exc, AllocatorError) else "bitflip"
+                matched = plan.rule_of_kind(label, kind)
+                rule_id = matched.rule_id if matched is not None else ""
+            failure = {"class": type(exc).__name__, "rule": rule_id, "message": str(exc)}
     process.note_resident()
     run_seconds = time.perf_counter() - started
     fingerprint, digest = request.compile_key
@@ -409,6 +444,7 @@ def _execute_request(
         calls=result.calls,
         max_rss=process.max_rss,
         icache_misses=result.icache_misses,
+        icache_hits=result.icache_hits,
         exit_code=result.exit_code if outcome == "ok" else -1,
         output=tuple(result.output),
         text_bytes=binary.text_size,
@@ -497,11 +533,18 @@ _WORKER_CACHE: Optional[CompileCache] = None
 
 
 def _worker_execute_group(
-    group: List[Tuple[int, RunRequest]], plan: Optional["FaultPlan"] = None
+    group: List[Tuple[int, RunRequest]],
+    plan: Optional["FaultPlan"] = None,
+    trace: bool = False,
 ) -> List[Tuple[int, RunRecord]]:
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
         _WORKER_CACHE = CompileCache()
+    if trace and not tracing_enabled():
+        # The parent enabled tracing after this worker was forked (or the
+        # pool spawned fresh): mirror the flag so the request spans exist
+        # to ship back through RunRecord.spans.
+        enable_tracing(True)
     return [
         (index, _execute_request_guarded(_WORKER_CACHE, request, plan))
         for index, request in group
@@ -797,7 +840,9 @@ class ExperimentEngine:
                 )
             try:
                 fmap = {
-                    self._pool.submit(_worker_execute_group, item, plan): item
+                    self._pool.submit(
+                        _worker_execute_group, item, plan, tracing_enabled()
+                    ): item
                     for item in items
                 }
             except BrokenProcessPool:

@@ -47,6 +47,7 @@ from repro.eval.engine import (
 )
 from repro.eval.stats import geomean, median, overhead_percent
 from repro.machine.costs import MACHINE_PRESETS
+from repro.machine.cpu import UNTAGGED_TAG
 from repro.rng import DiversityRng
 from repro.toolchain.interp import interpret_module
 from repro.workloads.browser import generate_browser_corpus
@@ -781,6 +782,10 @@ def experiment_overhead_decomposition(
     decomposition: Dict[str, float] = {}
     tagged_total = 0.0
     for tag, cycles in sorted((full.tag_cycles or {}).items()):
+        if tag == UNTAGGED_TAG:
+            # The application bucket is not overhead; untagged *added*
+            # cycles (i-cache pressure, frame growth) are the residual.
+            continue
         decomposition[tag] = 100.0 * cycles / added if added else 0.0
         tagged_total += cycles
     decomposition["(untagged residual)"] = (

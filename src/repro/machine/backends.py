@@ -34,6 +34,7 @@ from repro.errors import (
     ShadowStackViolation,
     StackMisaligned,
 )
+from repro.machine.cpu import UNTAGGED_TAG
 from repro.machine.isa import Imm, Mem, Op, Reg, VECTOR_WORDS, WORD
 from repro.machine.uops import HALT, MicroOp, SYNC, get_bound_program
 from repro.numeric import MASK64, to_signed, truncated_div
@@ -83,12 +84,16 @@ class ReferenceBackend:
         shadow = cpu.shadow_stack if cpu.shadow_stack_enabled else None
         attribute = cpu.attribute_tags
         tag_cycles = res.tag_cycles
+        tag_counts = res.tag_counts
 
         executed = 0
         cycles = 0.0
         calls = 0
         rets = 0
         branches = 0
+        taken = 0
+        mem_ops = 0
+        traps = 0
 
         try:
             while not cpu._halted:
@@ -113,9 +118,12 @@ class ReferenceBackend:
                     cost += misses * miss_penalty
                 if isinstance(instr.a, Mem) or isinstance(instr.b, Mem):
                     cost += mem_extra
+                    mem_ops += 1
                 cycles += cost
-                if attribute and instr.tag is not None:
-                    tag_cycles[instr.tag] = tag_cycles.get(instr.tag, 0.0) + cost
+                if attribute:
+                    tag = instr.tag if instr.tag is not None else UNTAGGED_TAG
+                    tag_cycles[tag] = tag_cycles.get(tag, 0.0) + cost
+                    tag_counts[tag] = tag_counts.get(tag, 0) + 1
                 if count_ops:
                     res.opcode_counts[op] = res.opcode_counts.get(op, 0) + 1
 
@@ -199,30 +207,37 @@ class ReferenceBackend:
                 elif op is Op.JMP:
                     next_rip = cpu._branch_target(instr.a)
                     branches += 1
+                    taken += 1
                 elif op is Op.JE:
                     branches += 1
                     if cpu._cmp == 0:
                         next_rip = cpu._branch_target(instr.a)
+                        taken += 1
                 elif op is Op.JNE:
                     branches += 1
                     if cpu._cmp != 0:
                         next_rip = cpu._branch_target(instr.a)
+                        taken += 1
                 elif op is Op.JL:
                     branches += 1
                     if cpu._cmp < 0:
                         next_rip = cpu._branch_target(instr.a)
+                        taken += 1
                 elif op is Op.JLE:
                     branches += 1
                     if cpu._cmp <= 0:
                         next_rip = cpu._branch_target(instr.a)
+                        taken += 1
                 elif op is Op.JG:
                     branches += 1
                     if cpu._cmp > 0:
                         next_rip = cpu._branch_target(instr.a)
+                        taken += 1
                 elif op is Op.JGE:
                     branches += 1
                     if cpu._cmp >= 0:
                         next_rip = cpu._branch_target(instr.a)
+                        taken += 1
                 elif op is Op.CALL:
                     if cpu.check_alignment and regs[Reg.RSP] % 16 != 0:
                         raise StackMisaligned(
@@ -248,6 +263,7 @@ class ReferenceBackend:
                 elif op is Op.NOP:
                     pass
                 elif op is Op.TRAP:
+                    traps += 1
                     raise BoobyTrapTriggered(rip)
                 elif op is Op.VLOAD or op is Op.VLOAD512:
                     if not isinstance(instr.b, Mem):
@@ -281,6 +297,9 @@ class ReferenceBackend:
             res.calls += calls
             res.rets += rets
             res.branches += branches
+            res.branches_taken += taken
+            res.mem_ops += mem_ops
+            res.traps += traps
             res.icache_hits = cpu.icache.hits
             res.icache_misses = cpu.icache.misses
             res.output = cpu.process.output
@@ -332,6 +351,7 @@ class FastBackend:
         opcode_counts = res.opcode_counts
         attribute = cpu.attribute_tags
         tag_cycles = res.tag_cycles
+        tag_counts = res.tag_counts
 
         # Handler-visible counters live on the CPU; driver-local ones are
         # flushed in the ``finally`` exactly like the reference loop.
@@ -339,9 +359,12 @@ class FastBackend:
         cpu._bk_calls = 0
         cpu._bk_rets = 0
         cpu._bk_branches = 0
+        cpu._bk_taken = 0
+        cpu._bk_traps = 0
 
         executed = 0
         cycles = 0.0
+        mem_ops = 0
         hits = 0
         cache_misses = 0
         ep = memory.perm_epoch
@@ -386,9 +409,12 @@ class FastBackend:
                             cost += misses * miss_penalty
                         if u.has_mem:
                             cost += mem_extra
+                            mem_ops += 1
                         cycles += cost
-                        if attribute and u.tag is not None:
-                            tag_cycles[u.tag] = tag_cycles.get(u.tag, 0.0) + cost
+                        if attribute:
+                            tag = u.tag if u.tag is not None else UNTAGGED_TAG
+                            tag_cycles[tag] = tag_cycles.get(tag, 0.0) + cost
+                            tag_counts[tag] = tag_counts.get(tag, 0) + 1
                         if count_ops:
                             op = u.op
                             opcode_counts[op] = opcode_counts.get(op, 0) + 1
@@ -425,6 +451,9 @@ class FastBackend:
             res.calls += cpu._bk_calls
             res.rets += cpu._bk_rets
             res.branches += cpu._bk_branches
+            res.branches_taken += cpu._bk_taken
+            res.mem_ops += mem_ops
+            res.traps += cpu._bk_traps
             icache.hits += hits
             icache.misses += cache_misses
             res.icache_hits = icache.hits

@@ -44,10 +44,18 @@ __all__ = [
     "ExecutionResult",
     "MASK64",
     "SIGN_BIT",
+    "UNTAGGED_TAG",
     "to_signed",
     "to_unsigned",
     "truncated_div",
 ]
+
+#: Attribution bucket for untagged (application) instructions.  With
+#: ``attribute_tags=True`` every executed instruction lands in exactly one
+#: ``tag_cycles``/``tag_counts`` bucket — diversification-emitted code
+#: under its own tag, everything else here — so the buckets decompose the
+#: run's total cycles and instruction count.
+UNTAGGED_TAG = "app"
 
 
 @dataclass
@@ -65,18 +73,38 @@ class ExecutionResult:
     calls: int = 0
     rets: int = 0
     branches: int = 0
+    #: Branch-family instructions that redirected control flow.  A faulting
+    #: indirect target is not counted (the fault wins, matching the
+    #: reference loop's ordering).
+    branches_taken: int = 0
     icache_hits: int = 0
     icache_misses: int = 0
+    #: Instructions carrying a memory operand — the same predicate that
+    #: charges ``mem_operand_extra``.
+    mem_ops: int = 0
+    #: Booby traps detonated (executed TRAP instructions); counted before
+    #: the BoobyTrapTriggered fault propagates.
+    traps: int = 0
     output: List[int] = field(default_factory=list)
     opcode_counts: Dict[Op, int] = field(default_factory=dict)
-    #: Cycles attributed to tagged (diversification-emitted) instructions,
-    #: filled when the CPU runs with ``attribute_tags=True``.
+    #: Cycles attributed to instruction tags, filled when the CPU runs with
+    #: ``attribute_tags=True``.  Untagged instructions land under
+    #: :data:`UNTAGGED_TAG`, so the buckets sum to ``cycles`` (up to float
+    #: re-association) and ``tag_counts`` sums to ``instructions`` exactly.
     tag_cycles: Dict[str, float] = field(default_factory=dict)
+    #: Per-tag executed-instruction counts (same bucketing as ``tag_cycles``).
+    tag_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def icache_miss_rate(self) -> float:
         total = self.icache_hits + self.icache_misses
         return self.icache_misses / total if total else 0.0
+
+    def perf_counters(self):
+        """This run as a :class:`repro.obs.counters.PerfCounters` view."""
+        from repro.obs.counters import PerfCounters
+
+        return PerfCounters.from_result(self)
 
 
 class CPU:

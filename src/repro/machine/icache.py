@@ -12,6 +12,20 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List
 
+__all__ = ["ICache", "line_span"]
+
+
+def line_span(address: int, size: int, line_size: int) -> range:
+    """Cache lines covering ``[address, address + max(size, 1))``.
+
+    The single source of truth for line occupancy: the cache model, the
+    micro-op binder, and the profiler's shadow replay all use it, so a
+    fetch touches the same lines no matter which layer computes them.
+    """
+    first = address // line_size
+    last = (address + max(size, 1) - 1) // line_size
+    return range(first, last + 1)
+
 
 class ICache:
     """Set-associative LRU instruction cache.
@@ -32,10 +46,8 @@ class ICache:
 
     def access(self, address: int, size: int) -> int:
         """Touch the lines covering ``[address, address+size)``; return misses."""
-        first = address // self.line_size
-        last = (address + max(size, 1) - 1) // self.line_size
         misses = 0
-        for line in range(first, last + 1):
+        for line in line_span(address, size, self.line_size):
             index = line % self.num_sets
             entries = self._sets[index]
             if line in entries:

@@ -42,6 +42,7 @@ from repro.errors import (
     ShadowStackViolation,
     StackMisaligned,
 )
+from repro.machine.icache import line_span
 from repro.machine.isa import Imm, Instruction, Mem, Op, Reg, VECTOR_WORDS, WORD
 from repro.numeric import MASK64, to_signed, truncated_div
 
@@ -282,11 +283,13 @@ def _make_setcc(cond) -> Handler:
 
 def _jmp_i(cpu, u):
     cpu._bk_branches += 1
+    cpu._bk_taken += 1
     return u.target
 
 
 def _jmp_r(cpu, u):
     cpu._bk_branches += 1
+    cpu._bk_taken += 1
     return cpu.regs[u.a_reg]
 
 
@@ -294,6 +297,7 @@ def _make_jcc(cond) -> Handler:
     def h(cpu, u):
         cpu._bk_branches += 1
         if cond(cpu._cmp):
+            cpu._bk_taken += 1
             return u.target
         return None
 
@@ -362,6 +366,7 @@ def _nop(cpu, u):
 
 
 def _trap(cpu, u):
+    cpu._bk_traps += 1
     raise BoobyTrapTriggered(u.rip)
 
 
@@ -506,6 +511,7 @@ def _g_jmp(cpu, u):
     # Reference semantics: a faulting indirect target is not counted.
     target = cpu._branch_target(u.instr.a)
     cpu._bk_branches += 1
+    cpu._bk_taken += 1
     return target
 
 
@@ -513,7 +519,9 @@ def _make_g_jcc(cond) -> Handler:
     def h(cpu, u):
         cpu._bk_branches += 1
         if cond(cpu._cmp):
-            return cpu._branch_target(u.instr.a)
+            target = cpu._branch_target(u.instr.a)
+            cpu._bk_taken += 1
+            return target
         return None
 
     return h
@@ -791,9 +799,7 @@ def _bind(
         u.instr = instr
         u.base_cost = op_costs[instr.op]
         u.has_mem = isinstance(a, Mem) or isinstance(b, Mem)
-        first = addr // line_size
-        last = (addr + max(instr.size, 1) - 1) // line_size
-        u.lines = tuple(range(first, last + 1))
+        u.lines = tuple(line_span(addr, instr.size, line_size))
         u.handler = handler
         u.next_u = None
         u.target = None

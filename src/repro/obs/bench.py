@@ -1,0 +1,239 @@
+"""The benchmark regression harness: ``python -m repro bench``.
+
+Runs a (workload × config) grid through the experiment engine and emits
+one schema-versioned JSON artifact per invocation — the repo's benchmark
+trajectory.  Each cell records both *simulated* metrics (cycles,
+instructions, i-cache behaviour — deterministic, backend-invariant) and
+*host* metrics (compile/run wall seconds — environmental), plus the
+engine's :class:`~repro.eval.engine.FailureSummary` so a regression in
+reliability is as visible as a regression in speed.
+
+Artifact schema (``repro-bench/v1``)::
+
+    {
+      "schema": "repro-bench/v1",
+      "backend": "reference",
+      "machine": "epyc-rome",
+      "quick": true,
+      "jobs": 1,
+      "cells": [
+        {"workload": "xz", "config": "full-avx", "outcome": "ok",
+         "cycles": ..., "instructions": ..., "icache_hits": ...,
+         "icache_misses": ..., "max_rss": ...,
+         "compile_seconds": ..., "run_seconds": ...},
+        ...
+      ],
+      "engine": {"executed": ..., "compiles": ...,
+                 "compile_seconds": ..., "run_seconds": ...,
+                 "failures": ..., "by_outcome": {...}}
+    }
+
+:func:`validate` checks an artifact against this schema (CI gates on
+it); :meth:`BenchReport.from_json` drops unknown keys, matching the
+``RunRecord.from_json`` forward-compatibility semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Optional
+
+from repro.core.config import R2CConfig
+from repro.eval.engine import ExperimentEngine, RequestBatch, RunRequest
+from repro.workloads.spec import SPEC_BENCHMARKS, build_spec_benchmark
+
+__all__ = ["BENCH_SCHEMA", "BenchCell", "BenchReport", "run_bench", "validate"]
+
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: The diversification configs benchmarked per workload, by cell name.
+BENCH_CONFIGS = {
+    "baseline": lambda: R2CConfig.baseline(),
+    "full-avx": lambda: R2CConfig.full(seed=11, btra_mode="avx"),
+    "full-push": lambda: R2CConfig.full(seed=12, btra_mode="push"),
+}
+
+#: Reduced workload set for ``--quick`` / CI smoke legs.
+QUICK_WORKLOADS = ("xz", "mcf", "lbm")
+
+
+@dataclass
+class BenchCell:
+    """One (workload × config) measurement."""
+
+    workload: str
+    config: str
+    outcome: str
+    cycles: float
+    instructions: int
+    icache_hits: int
+    icache_misses: int
+    max_rss: int
+    compile_seconds: float
+    run_seconds: float
+
+    @property
+    def icache_miss_rate(self) -> float:
+        total = self.icache_hits + self.icache_misses
+        return self.icache_misses / total if total else 0.0
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BenchCell":
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+@dataclass
+class BenchReport:
+    """One bench invocation's artifact."""
+
+    backend: str
+    machine: str
+    quick: bool
+    jobs: int
+    cells: List[BenchCell] = field(default_factory=list)
+    engine: Dict[str, object] = field(default_factory=dict)
+
+    def cell(self, workload: str, config: str) -> BenchCell:
+        for cell in self.cells:
+            if cell.workload == workload and cell.config == config:
+                return cell
+        raise KeyError(f"no bench cell ({workload!r}, {config!r})")
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.outcome == "ok" for cell in self.cells)
+
+    def to_json(self) -> str:
+        data = {
+            "schema": BENCH_SCHEMA,
+            "backend": self.backend,
+            "machine": self.machine,
+            "quick": self.quick,
+            "jobs": self.jobs,
+            "cells": [asdict(cell) for cell in self.cells],
+            "engine": dict(self.engine),
+        }
+        return json.dumps(data, sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchReport":
+        """Load an artifact; unknown keys dropped at both levels."""
+        data = json.loads(text)
+        known = {f.name for f in fields(cls)}
+        kept = {key: value for key, value in data.items() if key in known}
+        kept["cells"] = [BenchCell.from_dict(cell) for cell in data.get("cells", ())]
+        return cls(**kept)
+
+
+#: Per-cell keys every ``repro-bench/v1`` artifact must carry.
+_CELL_REQUIRED = (
+    "workload",
+    "config",
+    "outcome",
+    "cycles",
+    "instructions",
+    "icache_hits",
+    "icache_misses",
+    "compile_seconds",
+    "run_seconds",
+)
+
+
+def validate(data: Dict[str, object]) -> List[str]:
+    """Check a parsed artifact against ``repro-bench/v1``.
+
+    Returns a list of problems — empty means schema-valid.  CI runs the
+    smoke bench on both backends and gates on this.
+    """
+    problems: List[str] = []
+    schema = data.get("schema")
+    if schema != BENCH_SCHEMA:
+        problems.append(f"schema is {schema!r}, expected {BENCH_SCHEMA!r}")
+    for key in ("backend", "machine", "quick", "jobs", "cells", "engine"):
+        if key not in data:
+            problems.append(f"missing top-level key {key!r}")
+    cells = data.get("cells")
+    if not isinstance(cells, list) or not cells:
+        problems.append("cells must be a non-empty list")
+        cells = []
+    for position, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            problems.append(f"cells[{position}] is not an object")
+            continue
+        for key in _CELL_REQUIRED:
+            if key not in cell:
+                problems.append(f"cells[{position}] missing {key!r}")
+    return problems
+
+
+def run_bench(
+    *,
+    backend: str = "reference",
+    machine: str = "epyc-rome",
+    jobs: int = 1,
+    quick: bool = False,
+    workloads: Optional[List[str]] = None,
+    load_seed: int = 1,
+    engine: Optional[ExperimentEngine] = None,
+) -> BenchReport:
+    """Run the bench grid; returns the report (caller writes the artifact)."""
+    if workloads is None:
+        workloads = list(QUICK_WORKLOADS if quick else SPEC_BENCHMARKS)
+    owns_engine = engine is None
+    if owns_engine:
+        engine = ExperimentEngine(jobs=jobs, backend=backend)
+    try:
+        batch = RequestBatch(engine)
+        for workload in workloads:
+            module = build_spec_benchmark(workload)
+            for config_name, make_config in BENCH_CONFIGS.items():
+                batch.add(
+                    (workload, config_name),
+                    RunRequest(
+                        module=module,
+                        config=make_config(),
+                        machine=machine,
+                        load_seed=load_seed,
+                        label=f"bench/{config_name}/{workload}",
+                    ),
+                )
+        results = batch.run()
+        cells = []
+        for workload in workloads:
+            for config_name in BENCH_CONFIGS:
+                record = results.record((workload, config_name))
+                cells.append(
+                    BenchCell(
+                        workload=workload,
+                        config=config_name,
+                        outcome=record.outcome,
+                        cycles=record.cycles,
+                        instructions=record.instructions,
+                        icache_hits=record.icache_hits,
+                        icache_misses=record.icache_misses,
+                        max_rss=record.max_rss,
+                        compile_seconds=record.compile_seconds,
+                        run_seconds=record.run_seconds,
+                    )
+                )
+        summary = engine.summary()
+        return BenchReport(
+            backend=backend,
+            machine=machine,
+            quick=quick,
+            jobs=engine.jobs,
+            cells=cells,
+            engine={
+                "executed": summary.executed,
+                "compiles": summary.compiles,
+                "compile_seconds": round(summary.compile_seconds, 4),
+                "run_seconds": round(summary.run_seconds, 4),
+                "failures": summary.failures.failures,
+                "by_outcome": dict(summary.failures.by_outcome),
+            },
+        )
+    finally:
+        if owns_engine:
+            engine.close()

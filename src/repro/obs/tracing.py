@@ -1,0 +1,360 @@
+"""Zero-dependency structured tracing: spans, a collector, Chrome export.
+
+A *span* covers one named phase of work (``compile/module``,
+``engine/run``, ``compile/pass:btra``).  Spans nest: opening a span
+inside another records the parent-child edge, so a finished trace is a
+forest whose shape documents where time went.  The shape — names,
+parentage, sibling order — is deterministic for a given workload and
+config; only timestamps and durations vary run to run, which is exactly
+what the golden-trace tests pin (and exclude).
+
+Design constraints, in order:
+
+1. **Disabled means free.**  ``span(...)`` costs one module-flag check
+   and returns a shared no-op context manager when tracing is off.  The
+   instrumented call sites are phase-granular (per compile, per pass,
+   per run) — never per instruction — so even enabled tracing is cheap.
+2. **Thread-safe.**  Each thread keeps its own open-span stack
+   (parentage never crosses threads); the finished-span list is guarded
+   by a lock.
+3. **Zero dependencies.**  Stdlib only, like the rest of the machine.
+
+Export formats:
+
+* :meth:`TraceCollector.to_json` — the native format: one record per
+  span including ``span_id``/``parent_id`` so the tree round-trips.
+  :meth:`TraceCollector.from_json` drops unknown keys, matching
+  ``RunRecord.from_json`` forward-compatibility semantics.
+* :meth:`TraceCollector.chrome_trace` — Chrome ``trace_event`` JSON
+  (complete ``"ph": "X"`` events); load the file in ``chrome://tracing``
+  or Perfetto.
+
+Worker processes: the experiment engine enables tracing in its pool
+workers when the parent has it enabled and ships each request's
+captured spans back inside :class:`~repro.eval.engine.RunRecord`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "TraceCollector",
+    "enable_tracing",
+    "get_collector",
+    "recent_span_names",
+    "span",
+    "span_tree",
+    "trace_capture",
+    "tracing_enabled",
+]
+
+#: Completed-span names retained for crash reports (reliability layer).
+RECENT_SPAN_LIMIT = 32
+
+
+@dataclass
+class Span:
+    """One finished span.  Timestamps are microseconds since the
+    collector's epoch; ``span_id`` order is *start* order."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_us: float
+    duration_us: float
+    thread: int
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "thread": self.thread,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Span":
+        # Forward compatibility: traces written by a newer schema may
+        # carry fields this build does not know; drop them instead of
+        # raising (the RunRecord.from_json convention).
+        known = {
+            "span_id",
+            "parent_id",
+            "name",
+            "category",
+            "start_us",
+            "duration_us",
+            "thread",
+            "args",
+        }
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+class _OpenSpan:
+    """Mutable handle for a span in flight (yielded by ``span(...)``)."""
+
+    __slots__ = ("span_id", "parent_id", "name", "category", "start", "args")
+
+    def __init__(self, span_id, parent_id, name, category, start, args):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self.args = args
+
+    def set(self, **args) -> None:
+        """Attach args discovered mid-span (e.g. a cache-hit verdict)."""
+        self.args.update(args)
+
+
+class TraceCollector:
+    """Thread-safe in-process span collector.
+
+    ``spans`` holds finished spans in *completion* order (children
+    before parents); :func:`span_tree` rebuilds start-ordered trees.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self._next_thread = 0
+        self._thread_ids: Dict[int, int] = {}
+        self.spans: List[Span] = []
+        self.recent: "deque[str]" = deque(maxlen=RECENT_SPAN_LIMIT)
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def _stack(self) -> List[_OpenSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _thread_id(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            tid = self._thread_ids.get(ident)
+            if tid is None:
+                tid = self._thread_ids[ident] = self._next_thread
+                self._next_thread += 1
+        return tid
+
+    @contextmanager
+    def span(self, name: str, category: str = "repro", **args):
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        handle = _OpenSpan(
+            span_id, parent_id, name, category, self._clock(), dict(args)
+        )
+        stack.append(handle)
+        try:
+            yield handle
+        finally:
+            stack.pop()
+            end = self._clock()
+            finished = Span(
+                span_id=handle.span_id,
+                parent_id=handle.parent_id,
+                name=handle.name,
+                category=handle.category,
+                start_us=(handle.start - self._epoch) * 1e6,
+                duration_us=(end - handle.start) * 1e6,
+                thread=self._thread_id(),
+                args=handle.args,
+            )
+            with self._lock:
+                self.spans.append(finished)
+                self.recent.append(finished.name)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans = []
+            self.recent.clear()
+            self._next_id = 0
+
+    def recent_names(self, count: int = 8) -> Tuple[str, ...]:
+        """The last ``count`` finished span names, oldest first.
+
+        Names only — no timestamps — so embedding them (crash reports)
+        stays byte-identical across execution backends.
+        """
+        with self._lock:
+            names = list(self.recent)
+        return tuple(names[-count:])
+
+    # -- export ---------------------------------------------------------------
+
+    def to_json(self, spans: Optional[Iterable[Span]] = None) -> str:
+        """Native format: ``{"spans": [...]}`` with the tree edges intact."""
+        chosen = self.spans if spans is None else list(spans)
+        return json.dumps(
+            {"schema": "repro-trace/v1", "spans": [s.to_dict() for s in chosen]},
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> List[Span]:
+        """Load spans back from :meth:`to_json` output (unknown keys dropped)."""
+        data = json.loads(text)
+        return [Span.from_dict(item) for item in data.get("spans", ())]
+
+    def chrome_trace(self, spans: Optional[Iterable[Span]] = None) -> Dict[str, object]:
+        """Chrome ``trace_event`` JSON-compatible dict (complete events)."""
+        chosen = self.spans if spans is None else list(spans)
+        pid = os.getpid()
+        events = [
+            {
+                "name": s.name,
+                "cat": s.category,
+                "ph": "X",
+                "ts": round(s.start_us, 3),
+                "dur": round(s.duration_us, 3),
+                "pid": pid,
+                "tid": s.thread,
+                "args": s.args,
+            }
+            for s in sorted(chosen, key=lambda s: s.span_id)
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Write the Chrome trace to ``path``; returns the event count."""
+        trace = self.chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, sort_keys=True)
+        return len(trace["traceEvents"])
+
+
+def span_tree(spans: Iterable[Span]) -> List[Dict[str, object]]:
+    """Rebuild the span forest: ``[{"name", "children": [...]}, ...]``.
+
+    Children are ordered by start (``span_id``); durations and args are
+    deliberately omitted — this is the *shape* of a trace, the part the
+    golden tests pin.
+    """
+    ordered = sorted(spans, key=lambda s: s.span_id)
+    nodes = {s.span_id: {"name": s.name, "children": []} for s in ordered}
+    roots: List[Dict[str, object]] = []
+    for s in ordered:
+        node = nodes[s.span_id]
+        parent = nodes.get(s.parent_id) if s.parent_id is not None else None
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# Module-level switchboard: one process-wide collector, one enabled flag.
+# ---------------------------------------------------------------------------
+
+_COLLECTOR = TraceCollector()
+_ENABLED = False
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **args) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def get_collector() -> TraceCollector:
+    return _COLLECTOR
+
+
+def tracing_enabled() -> bool:
+    return _ENABLED
+
+
+def enable_tracing(on: bool = True) -> bool:
+    """Turn tracing on/off process-wide; returns the previous state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(on)
+    return previous
+
+
+def span(name: str, category: str = "repro", **args):
+    """Open a span on the process collector (no-op while disabled)."""
+    if not _ENABLED:
+        return _NULL_SPAN
+    return _COLLECTOR.span(name, category, **args)
+
+
+def recent_span_names(count: int = 8) -> Tuple[str, ...]:
+    """Names of the most recently finished spans (for crash reports)."""
+    if not _ENABLED and not _COLLECTOR.spans:
+        return ()
+    return _COLLECTOR.recent_names(count)
+
+
+class _Capture:
+    """A window over the collector: spans finished since ``mark``."""
+
+    def __init__(self, collector: TraceCollector, mark: int):
+        self._collector = collector
+        self._mark = mark
+        self._end: Optional[int] = None
+
+    def _finish(self) -> None:
+        self._end = len(self._collector.spans)
+
+    def spans(self) -> List[Span]:
+        end = self._end if self._end is not None else len(self._collector.spans)
+        return self._collector.spans[self._mark : end]
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [s.to_dict() for s in self.spans()]
+
+    def tree(self) -> List[Dict[str, object]]:
+        return span_tree(self.spans())
+
+
+@contextmanager
+def trace_capture():
+    """Capture the spans completed inside this block.
+
+    Yields a :class:`_Capture`; when tracing is disabled the capture is
+    simply empty.  Used by the engine to ship per-request spans back
+    through :class:`~repro.eval.engine.RunRecord`.
+    """
+    capture = _Capture(_COLLECTOR, len(_COLLECTOR.spans))
+    try:
+        yield capture
+    finally:
+        capture._finish()

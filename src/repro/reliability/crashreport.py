@@ -87,6 +87,10 @@ class CrashReport:
     backtrace: Tuple[str, ...] = ()
     #: Why the backtrace stops short, when the stack is too corrupt to walk.
     backtrace_error: Optional[str] = None
+    #: Most-recent trace span *names* (oldest first) when tracing was on.
+    #: Names only — durations differ between backends, and serialized
+    #: reports are compared byte-for-byte across them.
+    recent_spans: Tuple[str, ...] = ()
 
     @property
     def detected(self) -> bool:
@@ -123,6 +127,8 @@ class CrashReport:
             # A smashed stack is exactly when unwinding fails loudly; the
             # failure itself is forensic signal.
             trace_error = str(unwind_exc)
+        from repro.obs.tracing import recent_span_names
+
         return cls(
             sequence=sequence,
             fault_class=type(exc).__name__,
@@ -135,6 +141,7 @@ class CrashReport:
             stack_window=tuple(window),
             backtrace=trace,
             backtrace_error=trace_error,
+            recent_spans=tuple(recent_span_names()),
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -150,6 +157,7 @@ class CrashReport:
             "stack_window": [list(pair) for pair in self.stack_window],
             "backtrace": list(self.backtrace),
             "backtrace_error": self.backtrace_error,
+            "recent_spans": list(self.recent_spans),
         }
 
     def to_json(self) -> str:

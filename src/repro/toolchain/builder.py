@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ToolchainError
+from repro.obs.tracing import span
 from repro.toolchain.ir import (
     BasicBlock,
     Function,
@@ -254,5 +255,6 @@ class IRBuilder:
 
     def finish(self) -> Module:
         """Validate and return the module."""
-        self.module.validate()
+        with span("frontend/finish", "frontend", module=self.module.name):
+            self.module.validate()
         return self.module

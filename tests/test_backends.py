@@ -297,6 +297,39 @@ def test_runtime_service_changing_permissions_identical():
 
 
 # ---------------------------------------------------------------------------
+# Observability parity: PerfCounters and folded-stack profiles must be
+# byte-identical between backends across seeds and BTRA modes.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("btra_mode", ["avx", "push"])
+@pytest.mark.parametrize("seed", [3, 4, 5])
+def test_perf_counters_and_profiles_identical(seed, btra_mode):
+    from repro.obs.profiler import CycleProfiler
+    from repro.workloads.spec import build_spec_benchmark
+
+    module = build_spec_benchmark("xz")
+    binary = compile_module(module, R2CConfig.full(seed=seed, btra_mode=btra_mode))
+    observed = {}
+    for backend in BACKENDS:
+        process = load_binary(binary, seed=seed)
+        cpu = CPU(
+            process, get_costs("epyc-rome"), backend=backend, attribute_tags=True
+        )
+        profiler = CycleProfiler(cpu)
+        result = cpu.run()
+        observed[backend] = {
+            "counters": result.perf_counters().to_json(),
+            "folded": profiler.folded_stacks(),
+            "hottest": profiler.hottest_rips(5),
+            "result": dataclasses.asdict(result),
+        }
+    assert observed["reference"] == observed["fast"]
+    counters = observed["fast"]["counters"]
+    assert '"schema": "repro-counters/v1"' in counters
+
+
+# ---------------------------------------------------------------------------
 # Trace hooks and the debugger ride on either backend.
 # ---------------------------------------------------------------------------
 
