@@ -69,3 +69,12 @@ def test_table3_attack_defense_matrix(run_once):
     # And R2C is *reactive*: the brute-force campaigns get detected.
     blind = matrix["r2c"]["blindrop"]
     assert blind["detected"] == _total(matrix, "r2c", "blindrop")
+
+    # The Section 7.3 combination row (R2C x 2 variants in lockstep):
+    # nothing succeeds, and cross-checking converts otherwise-silent
+    # failures into first-class divergence detections.
+    for attack in attacks:
+        assert _successes(matrix, "r2c-mvee", attack) == 0, attack
+    assert matrix["r2c-mvee"]["jitrop"]["diverged"] >= 1
+    aocr = matrix["r2c-mvee"]["aocr"]
+    assert aocr["detected"] + aocr["diverged"] == _total(matrix, "r2c-mvee", "aocr")

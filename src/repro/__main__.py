@@ -339,6 +339,160 @@ def profile_main(argv) -> int:
     return 0
 
 
+def mvee_main(argv) -> int:
+    """``python -m repro mvee``: run N variants in batched lockstep.
+
+    Two modes:
+
+    * **attack** (default): compile N differently-diversified builds,
+      replicate a scripted attack's writes from the leader into the
+      followers, and cross-check — the Section 7.3 MVEE combination.
+    * **bitflip** (``--bitflip-seed N``): run N replicas of one build
+      with seeded memory corruption in one follower; replica mode pins
+      the divergence to a variant, sync point, and register.
+
+    ``--out`` writes a ``repro-divergence/v1`` JSON artifact (CI uploads
+    it).  Exits 1 only when every variant was compromised identically —
+    the one outcome an MVEE deployment cannot detect.
+    """
+    import json
+
+    from repro.attacks.aocr import make_aocr_hook
+    from repro.attacks.fengshui import make_fengshui_hook
+    from repro.attacks.rop import make_rop_hook
+    from repro.core.config import R2CConfig
+    from repro.defenses.lockstep import MveeOutcome, run_bitflip_lockstep
+    from repro.defenses.mvee import MVEE
+
+    hooks = {
+        "aocr": make_aocr_hook,
+        "rop": make_rop_hook,
+        "fengshui": make_fengshui_hook,
+        "none": lambda: None,
+    }
+    configs = {
+        "full": R2CConfig.full,
+        "baseline": R2CConfig.baseline,
+    }
+    parser = argparse.ArgumentParser(
+        prog="python -m repro mvee",
+        description="Run N diversified variants in batched lockstep and "
+        "cross-check their behaviour (the Section 7.3 MVEE combination).",
+    )
+    parser.add_argument(
+        "--variants", type=int, default=2, metavar="N", help="variant count (default: 2)"
+    )
+    parser.add_argument(
+        "--attack",
+        default="aocr",
+        choices=sorted(hooks),
+        help="scripted attack replicated into the followers (default: aocr)",
+    )
+    parser.add_argument(
+        "--config",
+        default="full",
+        choices=sorted(configs),
+        help="diversification config per variant (default: full)",
+    )
+    parser.add_argument(
+        "--build-seed", type=int, default=0, metavar="N", help="base compile seed"
+    )
+    parser.add_argument(
+        "--attacker-seed", type=int, default=0, metavar="N", help="attacker RNG seed"
+    )
+    parser.add_argument(
+        "--backend",
+        default="fast",
+        choices=available_backends(),
+        help="execution backend (default: fast)",
+    )
+    parser.add_argument(
+        "--sync-every", type=int, default=256, metavar="N", help="cross-check batch size"
+    )
+    parser.add_argument(
+        "--bitflip-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replica mode: seed N bitflips into one follower instead of attacking",
+    )
+    parser.add_argument(
+        "--flips", type=int, default=96, metavar="N", help="bitflip count (replica mode)"
+    )
+    parser.add_argument(
+        "--corrupt-variant",
+        type=int,
+        default=1,
+        metavar="I",
+        help="which follower takes the bitflips (replica mode, default: 1)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="write the divergence report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    if args.bitflip_seed is not None:
+        mode = "bitflip"
+        lockstep = run_bitflip_lockstep(
+            variants=args.variants,
+            corrupt_variant=args.corrupt_variant,
+            fault_seed=args.bitflip_seed,
+            flips=args.flips,
+            backend=args.backend,
+            sync_every=min(args.sync_every, 64),
+        )
+        outcome, divergence, sync_points = (
+            lockstep.outcome,
+            lockstep.divergence,
+            lockstep.sync_points,
+        )
+        for variant in lockstep.variants:
+            corrupt = " (corrupted)" if variant.index == args.corrupt_variant else ""
+            print(
+                f"  v{variant.index}: {variant.status} "
+                f"after {variant.result.instructions} instructions{corrupt}"
+            )
+    else:
+        mode = f"attack:{args.attack}"
+        mvee = MVEE(
+            configs[args.config](),
+            variants=args.variants,
+            build_seed=args.build_seed,
+            backend=args.backend,
+            sync_every=args.sync_every,
+        )
+        result = mvee.run(hooks[args.attack](), attacker_seed=args.attacker_seed)
+        outcome, divergence, sync_points = (
+            result.outcome,
+            result.divergence,
+            result.sync_points,
+        )
+        for index, run in enumerate(result.variants):
+            goal = " [attacker goal reached]" if run.attacked_success else ""
+            print(f"  v{index}: {run.status} exit={run.exit_code}{goal}")
+        for note in result.notes:
+            print(f"  note: {note}")
+    print(f"outcome: {outcome.value} ({sync_points} sync points)")
+    if divergence is not None:
+        print(f"  {divergence.summary_line()}")
+    print(f"[{time.perf_counter() - started:.1f}s]")
+    if args.out:
+        payload = {
+            "schema": "repro-divergence/v1",
+            "mode": mode,
+            "variants": args.variants,
+            "backend": args.backend,
+            "outcome": outcome.value,
+            "sync_points": sync_points,
+            "divergence": divergence.to_dict() if divergence else None,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        print(f"[divergence report -> {args.out}]")
+    return 1 if outcome is MveeOutcome.COMPROMISED else 0
+
+
 def bench_main(argv) -> int:
     """``python -m repro bench``: the benchmark regression harness.
 
@@ -348,7 +502,7 @@ def bench_main(argv) -> int:
     """
     import json
 
-    from repro.obs.bench import run_bench, validate
+    from repro.obs.bench import run_bench, run_lockstep_bench, validate
 
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
@@ -377,6 +531,14 @@ def bench_main(argv) -> int:
         metavar="PATH",
         help="artifact path (default: BENCH_<date>.json)",
     )
+    parser.add_argument(
+        "--lockstep",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run the N-variant lockstep leg (webserver replicas; "
+        "records the amortized-decode cost ratio)",
+    )
     args = parser.parse_args(argv)
     out = args.out or time.strftime("BENCH_%Y-%m-%d.json")
 
@@ -384,6 +546,17 @@ def bench_main(argv) -> int:
     bench_report = run_bench(
         backend=args.backend, machine=args.machine, jobs=args.jobs, quick=args.quick
     )
+    if args.lockstep:
+        bench_report.lockstep = run_lockstep_bench(
+            variants=args.lockstep, backend=args.backend, machine=args.machine
+        )
+        lock = bench_report.lockstep
+        print(
+            f"lockstep x{lock['variants']}: {lock['outcome']}, "
+            f"cost ratio {lock['cost_ratio']}x "
+            f"({lock['lockstep']['wall_seconds']}s vs "
+            f"{lock['single']['wall_seconds']}s single)"
+        )
     print(report.render_bench(bench_report))
     print(f"[{time.perf_counter() - started:.1f}s]")
     text = bench_report.to_json()
@@ -426,6 +599,8 @@ def main(argv=None) -> int:
         return profile_main(list(argv[1:]))
     if argv and argv[0] == "bench":
         return bench_main(list(argv[1:]))
+    if argv and argv[0] == "mvee":
+        return mvee_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the R2C paper's tables and figures.",
@@ -467,6 +642,7 @@ def main(argv=None) -> int:
         print(f"  {'chaos':13s} Fault-injection matrix (own flags; see chaos --help)")
         print(f"  {'profile':13s} Hot-path cycle profile (own flags; see profile --help)")
         print(f"  {'bench':13s} Benchmark regression harness (own flags; see bench --help)")
+        print(f"  {'mvee':13s} N-variant lockstep cross-check (own flags; see mvee --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments

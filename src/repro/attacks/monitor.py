@@ -33,6 +33,14 @@ class DefenseMonitor:
         self.btdp_hits = 0
         self.booby_trap_hits = 0
         self.shadow_stack_hits = 0
+        self.divergences = 0
+
+    def note_divergence(self) -> None:
+        """Record an N-variant lockstep divergence (Section 7.3's MVEE
+        signal).  Divergence is a detection: variants disagreeing on
+        observable behaviour means an input perturbed diversified state."""
+        self.divergences += 1
+        self.detections += 1
 
     def classify(self, exc: MachineError) -> str:
         """Record ``exc``; return "detected" or "crashed"."""

@@ -20,6 +20,11 @@ class AttackOutcome(enum.Enum):
     #: The attack gave up (no usable leak, no consensus, budget exhausted)
     #: and the victim kept running normally.
     FAILED = "failed"
+    #: N-variant lockstep execution caught the variants disagreeing on
+    #: observable behaviour (Section 7.3's MVEE detection signal) — the
+    #: attack perturbed diversified state without reaching its goal in
+    #: every variant.
+    DIVERGED = "diverged"
 
 
 @dataclass

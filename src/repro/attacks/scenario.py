@@ -30,7 +30,13 @@ from repro.machine.costs import get_costs
 from repro.machine.loader import load_binary
 from repro.rng import DiversityRng
 from repro.toolchain.ir import Module
-from repro.workloads.victim import ATTACK_ARG, SUCCESS_TAG, VictimLayoutInfo, build_victim
+from repro.workloads.victim import (
+    ATTACK_ARG,
+    SUCCESS_TAG,
+    VictimLayoutInfo,
+    build_victim,
+    fire_once,
+)
 
 AttackFn = Callable[[AttackerView], None]
 
@@ -58,10 +64,12 @@ class ProbeResult:
     (status, result) pair — the reactive supervisor builds crash reports
     from the exception and the post-mortem CPU/process state."""
 
-    status: str  # "success" | "clean" | "detected" | "crashed"
+    status: str  # "success" | "clean" | "detected" | "crashed" | "diverged"
     result: Optional[ExecutionResult]
     exception: Optional[MachineError]
-    cpu: CPU
+    #: The (leader) machine state post-mortem — a CPU for single-variant
+    #: probes, the leader's MachineState for N-variant lockstep probes.
+    cpu: object
     process: object
 
 
@@ -81,6 +89,8 @@ class VictimSession:
         rerandomize_on_restart: bool = False,
         shadow_stack: bool = False,
         backend: str = "reference",
+        variants: int = 1,
+        sync_every: int = 256,
     ):
         if build_seed is not None:
             config = config.replace(seed=build_seed)
@@ -95,8 +105,22 @@ class VictimSession:
         self.rerandomize_on_restart = rerandomize_on_restart
         self.shadow_stack = shadow_stack
         self.backend = backend
+        if variants < 1:
+            raise ValueError("a session needs at least one variant")
+        #: N-variant mode (Section 7.3): every probe deploys ``variants``
+        #: differently-diversified builds in batched lockstep and adds
+        #: "diverged" to the probe statuses.
+        self.variants = variants
+        self.sync_every = sync_every
         self._spawn_count = 0
         self.binary = compile_module(self.module, config)
+        # Follower builds roll different diversification dice (same seed
+        # spacing as the MVEE), leaving the leader binary — and therefore
+        # every single-variant code path — bit-identical to before.
+        self.variant_binaries = [self.binary] + [
+            compile_module(self.module, config.replace(seed=config.seed + 1000 * index))
+            for index in range(1, variants)
+        ]
         # The attacker's own copy: identical software, independently built.
         # Without diversification the builds are bit-identical (the
         # monoculture); with diversification the attacker's copy rolled
@@ -145,13 +169,11 @@ class VictimSession:
     def probe_ex(self, hook: AttackFn, *, attacker_seed: int = 0) -> ProbeResult:
         """Like :meth:`probe`, returning the full :class:`ProbeResult`
         (exception + post-mortem CPU/process for crash triage)."""
+        if self.variants > 1:
+            return self._probe_lockstep(hook, attacker_seed=attacker_seed)
         process, cpu = self.spawn()
-        fired = {}
 
         def service(proc, running_cpu):
-            if fired:
-                return 0
-            fired["yes"] = True
             view = AttackerView(
                 proc,
                 running_cpu,
@@ -162,9 +184,8 @@ class VictimSession:
                 hook(view)
             except AttackAborted:
                 pass  # the attacker gave up; the victim continues untouched
-            return 0
 
-        process.register_service("attack_hook", service)
+        process.register_service("attack_hook", fire_once(service))
         try:
             result = cpu.run()
         except MachineError as exc:
@@ -175,6 +196,87 @@ class VictimSession:
             return ProbeResult(status, None, exc, cpu, process)
         status = "success" if output_success(result.output) else "clean"
         return ProbeResult(status, result, None, cpu, process)
+
+    def _probe_lockstep(self, hook: AttackFn, *, attacker_seed: int = 0) -> ProbeResult:
+        """N-variant probe: deploy every variant binary under one layout
+        seed, attack the leader (writes recorded), replay into followers,
+        and step the group in batched lockstep (Section 7.3).
+
+        Adds "diverged" to the probe statuses: the lockstep cross-check
+        caught the variants disagreeing — a detection the Table 3 tallies
+        and the reactive supervisor can act on.
+        """
+        # Imported here: defenses.lockstep/mvee import this module.
+        from repro.defenses.lockstep import LockstepGroup, MveeOutcome
+        from repro.defenses.mvee import _RecordingView
+
+        seed = self.load_seed
+        if self.rerandomize_on_restart:
+            seed += self._spawn_count
+        self._spawn_count += 1
+        write_log = []
+        leader_fired = [False]
+        processes = []
+        for index, binary in enumerate(self.variant_binaries):
+            process = load_binary(binary, seed=seed, execute_only=self.execute_only)
+            if index == 0:
+
+                def leader_service(proc, running_cpu):
+                    view = _RecordingView(
+                        proc,
+                        running_cpu,
+                        self.reference,
+                        rng=DiversityRng(attacker_seed).child("attacker"),
+                    )
+                    try:
+                        hook(view)
+                    except AttackAborted:
+                        pass
+                    write_log.extend(view.write_log)
+                    leader_fired[0] = True
+
+                process.register_service("attack_hook", fire_once(leader_service))
+            else:
+
+                def follower_service(proc, running_cpu):
+                    for address, data in write_log:
+                        try:
+                            proc.memory.write(address, data)
+                        except MachineError:
+                            pass  # landed in an unmapped/protected spot here
+
+                process.register_service("attack_hook", fire_once(follower_service))
+            processes.append(process)
+
+        group = LockstepGroup(
+            processes,
+            backend=self.backend,
+            sync_every=self.sync_every,
+            instruction_budget=5_000_000,
+            shadow_stack=self.shadow_stack,
+            monitor=self.monitor,
+            compare_state=False,
+        )
+        group.run_variant_until(0, lambda variant: leader_fired[0])
+        lockstep = group.run()
+        leader = group.variants[0]
+        if any(variant.status == "detected" for variant in group.variants):
+            status = "detected"
+        elif all(output_success(variant.output) for variant in group.variants):
+            status = "success"
+        elif lockstep.outcome is MveeOutcome.DIVERGED:
+            status = "diverged"
+        elif leader.status == "crashed":
+            status = "crashed"
+        else:
+            status = "clean"
+        return ProbeResult(
+            status,
+            leader.result,
+            leader.error,
+            leader.state,
+            leader.process,
+        )
 
 
 def run_attack(
@@ -193,6 +295,8 @@ def run_attack(
         result.outcome = AttackOutcome.SUCCESS
     elif status == "detected":
         result.outcome = AttackOutcome.DETECTED
+    elif status == "diverged":
+        result.outcome = AttackOutcome.DIVERGED
     elif status == "crashed":
         result.outcome = AttackOutcome.CRASHED
     else:

@@ -1,14 +1,26 @@
-"""Related defenses: the Table 3 comparison models and the Section 7.3
-MVEE combination."""
+"""Related defenses: the Table 3 comparison models, the N-variant
+lockstep substrate, and the Section 7.3 MVEE combination."""
 
 from repro.defenses.related import DEFENSE_MODELS, DefenseModel
+from repro.defenses.lockstep import (
+    DivergenceReport,
+    LockstepGroup,
+    LockstepResult,
+    LockstepVariant,
+    run_bitflip_lockstep,
+)
 from repro.defenses.mvee import MVEE, MveeOutcome, MveeResult, mvee_attack_outcome
 
 __all__ = [
     "DEFENSE_MODELS",
     "DefenseModel",
+    "DivergenceReport",
+    "LockstepGroup",
+    "LockstepResult",
+    "LockstepVariant",
     "MVEE",
     "MveeOutcome",
     "MveeResult",
     "mvee_attack_outcome",
+    "run_bitflip_lockstep",
 ]

@@ -6,22 +6,41 @@ R2C naturally complement each other.  Considering that R2C diversifies
 along multiple dimensions, an MVEE would detect data corruption or leakage
 in one of the variants with high probability."
 
-This module implements that combination.  An :class:`MVEE` compiles the
-same source into N *differently diversified* variants (different R2C
-seeds), runs them on identical input, and cross-checks their observable
-behaviour (output events, exit status, fault class).  Attacker input is
-replicated to every variant, as in a real MVEE: the attack logic runs
-against the leader, its memory *writes* are recorded and replayed
-byte-for-byte at the same addresses in each follower.  Because the
-variants' layouts differ, a write that surgically corrupts the leader
-lands somewhere else in a follower — and the resulting behavioural
-divergence is a detection, even when the attack against a single variant
-would have succeeded silently.
+This module implements that combination as a façade over
+:class:`repro.defenses.lockstep.LockstepGroup`.  An :class:`MVEE` compiles
+the same source into N *differently diversified* variants (different R2C
+seeds), then runs them in two phases:
+
+1. **Leader phase** — the leader alone is stepped until its attack hook
+   fires; the attack logic runs against it and its memory *writes* are
+   recorded byte-for-byte.
+2. **Lockstep phase** — all variants are stepped in batches by one
+   scheduling loop (one decode per distinct binary, N architectural
+   states).  Each follower replays the recorded writes at the same
+   addresses when *its* hook fires — MVEE input replication.  At every
+   sync point the group cross-checks output events and heap-allocation
+   ordering; at the end it cross-checks exit status and fault class.
+
+Because the variants' layouts differ, a write that surgically corrupts
+the leader lands somewhere else in a follower — and the resulting
+behavioural divergence is a detection, even when the attack against a
+single variant would have succeeded silently.
+
+**The identical-allocation-sequence invariant.**  Write replay is *by
+address*.  That is only meaningful if follower heap objects sit at the
+same allocator offsets as the leader's — i.e. every variant must issue
+the identical sequence of allocation requests (sizes, in order).  R2C
+diversification never perturbs the guest's allocation behaviour (traps
+and BTDPs are placed by load-time constructors, not guest ``malloc``), so
+the invariant holds for benign runs; the lockstep group *asserts* it at
+every sync point by logging each variant's ``malloc`` request sizes and
+cross-checking the sequences as prefixes.  A mismatch is reported as an
+``alloc`` divergence — allocator drift is then attributable evidence, not
+a silent source of bogus write replay.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -31,27 +50,24 @@ from repro.attacks.scenario import AttackAborted, output_success
 from repro.attacks.surface import AttackerView, ReferenceKnowledge
 from repro.core.compiler import compile_module
 from repro.core.config import R2CConfig
+from repro.defenses.lockstep import (
+    DivergenceReport,
+    LockstepGroup,
+    MveeOutcome,
+)
 from repro.errors import MachineError
-from repro.machine.costs import get_costs
-from repro.machine.cpu import CPU
 from repro.machine.loader import load_binary
 from repro.rng import DiversityRng
 from repro.toolchain.ir import Module
-from repro.workloads.victim import build_victim
+from repro.workloads.victim import build_victim, fire_once
 
-
-class MveeOutcome(enum.Enum):
-    #: All variants agreed; no attack effect observed.
-    CLEAN = "clean"
-    #: Variants diverged (different outputs / statuses) — the MVEE's
-    #: detection signal.
-    DIVERGED = "diverged"
-    #: A variant tripped an R2C booby trap / BTDP (reactive detection
-    #: fires even before cross-checking).
-    TRAPPED = "trapped"
-    #: Every variant reached the attacker's goal identically — the only
-    #: way an attack beats an MVEE.
-    COMPROMISED = "compromised"
+__all__ = [
+    "MVEE",
+    "MveeOutcome",
+    "MveeResult",
+    "VariantRun",
+    "mvee_attack_outcome",
+]
 
 
 @dataclass
@@ -69,6 +85,10 @@ class MveeResult:
     outcome: MveeOutcome
     variants: List[VariantRun] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: Populated when the lockstep cross-check caught a divergence: which
+    #: variant, at which sync point, first mismatching observable.
+    divergence: Optional[DivergenceReport] = None
+    sync_points: int = 0
 
     @property
     def detected(self) -> bool:
@@ -94,7 +114,7 @@ class _RecordingView(AttackerView):
 
 
 class MVEE:
-    """Runs N diversified variants of one module under cross-checking."""
+    """Runs N diversified variants of one module in batched lockstep."""
 
     def __init__(
         self,
@@ -104,6 +124,8 @@ class MVEE:
         variants: int = 2,
         build_seed: int = 0,
         load_seed: int = 0xBEEF,
+        backend: str = "reference",
+        sync_every: int = 256,
     ):
         if variants < 2:
             raise ValueError("an MVEE needs at least two variants")
@@ -113,6 +135,8 @@ class MVEE:
         ]
         self.binaries = [compile_module(self.module, cfg) for cfg in self.configs]
         self.load_seed = load_seed
+        self.backend = backend
+        self.sync_every = sync_every
         # The attacker's reference: their own build, as in VictimSession.
         self.reference = ReferenceKnowledge(
             compile_module(self.module, config.replace(seed=build_seed + 0x5EED))
@@ -129,64 +153,92 @@ class MVEE:
     ) -> MveeResult:
         """Run all variants (optionally under attack) and cross-check."""
         write_log: List[Tuple[int, bytes]] = []
-        runs: List[VariantRun] = []
-        for index, binary in enumerate(self.binaries):
-            is_leader = index == 0
-            runs.append(
-                self._run_variant(
-                    binary,
-                    attack_fn if is_leader else None,
-                    write_log,
-                    leader=is_leader,
-                    attacker_seed=attacker_seed,
-                )
+        leader_fired: List[bool] = [False]
+        processes = [
+            self._load_variant(
+                index,
+                binary,
+                attack_fn,
+                write_log,
+                leader_fired,
+                attacker_seed=attacker_seed,
             )
+            for index, binary in enumerate(self.binaries)
+        ]
+        group = LockstepGroup(
+            processes,
+            backend=self.backend,
+            sync_every=self.sync_every,
+            instruction_budget=5_000_000,
+            monitor=self.monitor,
+            # Diversified variants never match architecturally; only their
+            # observable events (output, allocation order, exit) must.
+            compare_state=False,
+        )
+        # Phase 1: the leader runs alone until its hook has fired and the
+        # attacker's writes are on record (or the leader stops first).
+        group.run_variant_until(0, lambda variant: leader_fired[0])
+        # Phase 2: everyone in batched lockstep; followers replay the
+        # leader's writes when their own hooks fire.
+        lockstep = group.run()
 
-        result = MveeResult(outcome=MveeOutcome.CLEAN, variants=runs)
+        runs = [
+            VariantRun(
+                status=variant.status,
+                exit_code=(
+                    variant.state._exit_code if variant.status == "exit" else None
+                ),
+                output=tuple(variant.output),
+                attacked_success=output_success(variant.output),
+            )
+            for variant in lockstep.variants
+        ]
+        result = MveeResult(
+            outcome=MveeOutcome.CLEAN,
+            variants=runs,
+            divergence=lockstep.divergence,
+            sync_points=lockstep.sync_points,
+        )
         if any(run.status == "detected" for run in runs):
             result.outcome = MveeOutcome.TRAPPED
             result.notes.append("an R2C booby trap fired in at least one variant")
         elif all(run.attacked_success for run in runs):
             result.outcome = MveeOutcome.COMPROMISED
             result.notes.append("every variant reached the attacker goal identically")
-        elif len({(run.status, run.exit_code, run.output) for run in runs}) > 1:
+        elif lockstep.outcome is MveeOutcome.DIVERGED:
             result.outcome = MveeOutcome.DIVERGED
-            result.notes.append(
-                "variant behaviour diverged: "
-                + ", ".join(f"v{i}={run.status}" for i, run in enumerate(runs))
-            )
+            result.notes.extend(lockstep.notes)
         return result
 
-    def _run_variant(
+    def _load_variant(
         self,
+        index: int,
         binary,
         attack_fn,
         write_log: List[Tuple[int, bytes]],
+        leader_fired: List[bool],
         *,
-        leader: bool,
         attacker_seed: int,
-    ) -> VariantRun:
+    ):
         process = load_binary(binary, seed=self.load_seed)
-        cpu = CPU(process, get_costs("epyc-rome"), instruction_budget=5_000_000)
-        fired = {}
+        leader = index == 0
 
         def hook(proc, running_cpu):
-            if fired:
-                return 0
-            fired["yes"] = True
-            if leader and attack_fn is not None:
-                view = _RecordingView(
-                    proc,
-                    running_cpu,
-                    self.reference,
-                    rng=DiversityRng(attacker_seed).child("attacker"),
-                )
-                try:
-                    attack_fn(view)
-                except AttackAborted:
-                    pass
-                write_log.extend(view.write_log)
-            elif not leader and write_log:
+            if leader:
+                if attack_fn is not None:
+                    view = _RecordingView(
+                        proc,
+                        running_cpu,
+                        self.reference,
+                        rng=DiversityRng(attacker_seed).child("attacker"),
+                    )
+                    try:
+                        attack_fn(view)
+                    except AttackAborted:
+                        pass
+                    write_log.extend(view.write_log)
+                leader_fired[0] = True
+            elif write_log:
                 # MVEE input replication: the follower receives the same
                 # corrupting bytes at the same addresses.
                 for address, data in write_log:
@@ -194,31 +246,17 @@ class MVEE:
                         proc.memory.write(address, data)
                     except MachineError:
                         pass  # landed in an unmapped/protected spot here
-            return 0
 
-        process.register_service("attack_hook", hook)
-        try:
-            exec_result = cpu.run()
-        except MachineError as exc:
-            status = self.monitor.classify(exc)
-            return VariantRun(
-                status=status,
-                exit_code=None,
-                output=tuple(process.output),
-                attacked_success=output_success(process.output),
-            )
-        return VariantRun(
-            status="exit",
-            exit_code=exec_result.exit_code,
-            output=tuple(exec_result.output),
-            attacked_success=output_success(exec_result.output),
-        )
+        process.register_service("attack_hook", fire_once(hook))
+        return process
 
 
 def mvee_attack_outcome(result: MveeResult) -> AttackOutcome:
     """Map an MVEE cross-check result onto the attack-outcome scale."""
     if result.outcome is MveeOutcome.COMPROMISED:
         return AttackOutcome.SUCCESS
+    if result.outcome is MveeOutcome.DIVERGED:
+        return AttackOutcome.DIVERGED
     if result.detected:
         return AttackOutcome.DETECTED
     return AttackOutcome.FAILED

@@ -56,6 +56,10 @@ class DefenseModel:
     execute_only: bool
     description: str
     shadow_stack: bool = False
+    #: N-variant lockstep deployment (Section 7.3): >1 makes every probe
+    #: run that many differently-seeded builds under cross-checking, with
+    #: behavioural divergence surfacing as a DIVERGED outcome.
+    variants: int = 1
 
     def victim_config(self, seed: int) -> R2CConfig:
         return self.config.replace(seed=seed)
@@ -128,6 +132,14 @@ def _build_models() -> Dict[str, DefenseModel]:
         config=R2CConfig.full(),
         execute_only=True,
         description="full R2C: BTRAs + BTDPs + code and data diversification",
+    )
+    models["r2c-mvee"] = DefenseModel(
+        name="r2c-mvee",
+        config=R2CConfig.full(),
+        execute_only=True,
+        variants=2,
+        description="full R2C x 2 diversified variants in batched lockstep "
+        "(the Section 7.3 MVEE combination)",
     )
     return models
 

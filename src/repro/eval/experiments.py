@@ -425,8 +425,11 @@ def experiment_table3(
 ) -> Dict[str, Dict[str, Dict[str, int]]]:
     """Run every attack against every defense model.
 
-    Returns {defense: {attack: {"success": n, "detected": n, "crashed": n,
-    "failed": n}}} over ``trials`` independently diversified victims.
+    Returns {defense: {attack: {"success": n, "detected": n, "diverged": n,
+    "crashed": n, "failed": n}}} over ``trials`` independently diversified
+    victims.  N-variant defense rows (``model.variants > 1``, e.g.
+    ``r2c-mvee``) run every probe in batched lockstep, so the ``diverged``
+    tally counts cross-check catches.
     """
     attack_names = list(attacks) if attacks else list(ALL_ATTACKS)
     defense_names = list(defenses) if defenses else list(DEFENSE_MODELS)
@@ -435,12 +438,19 @@ def experiment_table3(
         model = DEFENSE_MODELS[defense_name]
         matrix[defense_name] = {}
         for attack_name in attack_names:
-            tallies = {"success": 0, "detected": 0, "crashed": 0, "failed": 0}
+            tallies = {
+                "success": 0,
+                "detected": 0,
+                "diverged": 0,
+                "crashed": 0,
+                "failed": 0,
+            }
             for trial in range(trials):
                 session = VictimSession(
                     model.victim_config(seed=base_seed + trial),
                     execute_only=model.execute_only,
                     shadow_stack=model.shadow_stack,
+                    variants=model.variants,
                     load_seed=base_seed + 17 * trial,
                 )
                 result = ALL_ATTACKS[attack_name](

@@ -61,6 +61,25 @@ class Allocator:
 
     # -- public API ------------------------------------------------------------
 
+    def clone(self, memory: Memory) -> "Allocator":
+        """Copy the allocator's state over a cloned :class:`Memory`.
+
+        Free ranges, the live set, accounting, and any armed fault
+        injection carry over; in-band chunk headers already live in the
+        (cloned) guest memory, so the pair stays self-consistent."""
+        clone = Allocator.__new__(Allocator)
+        clone.memory = memory
+        clone.base = self.base
+        clone.size = self.size
+        clone._free = list(self._free)
+        clone._live = dict(self._live)
+        clone.allocated_bytes = self.allocated_bytes
+        clone.peak_allocated = self.peak_allocated
+        clone._oom_after = self._oom_after
+        clone._oom_rule = self._oom_rule
+        clone._allocs_since_arm = self._allocs_since_arm
+        return clone
+
     def arm_oom(self, after_allocs: int, rule_id: str = "") -> None:
         """Arm injected OOM: allow ``after_allocs`` more allocations, then
         raise :class:`AllocatorError` on every subsequent one."""

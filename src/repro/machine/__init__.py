@@ -12,8 +12,12 @@ assumes.  It provides:
 * :mod:`repro.machine.icache` / :mod:`repro.machine.costs` — the cycle cost
   model, including an instruction-cache simulator that reproduces why the
   push-based BTRA setup is slower than the AVX2 one (Section 6.2.1).
-* :mod:`repro.machine.cpu` — architectural state and cycle/call accounting;
-  execution is delegated to a pluggable backend.
+* :mod:`repro.machine.state` — :class:`MachineState`, the architectural
+  state (registers, flags, shadow stack, i-cache) as a first-class,
+  snapshot-able value; one decoded program can drive N states.
+* :mod:`repro.machine.cpu` — the classic ``CPU`` façade: one state bound
+  to one decoded program under a named backend, with cycle/call
+  accounting in :class:`ExecutionResult`.
 * :mod:`repro.machine.uops` / :mod:`repro.machine.backends` — the
   fetch/decode/execute pipeline: binaries are decoded once into
   pre-resolved micro-ops (cached by content fingerprint) and driven by
@@ -36,6 +40,7 @@ from repro.machine.isa import (
 )
 from repro.machine.costs import MachineCosts, MACHINE_PRESETS
 from repro.machine.icache import ICache
+from repro.machine.state import MachineState
 from repro.machine.cpu import CPU, ExecutionResult
 from repro.machine.backends import (
     ExecutionBackend,
@@ -60,6 +65,7 @@ __all__ = [
     "MachineCosts",
     "MACHINE_PRESETS",
     "ICache",
+    "MachineState",
     "CPU",
     "ExecutionResult",
     "ExecutionBackend",

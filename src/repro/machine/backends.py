@@ -1,12 +1,22 @@
 """Execution backends: the dispatch/execute stages of the pipeline.
 
-The CPU (:mod:`repro.machine.cpu`) owns architectural state; a backend
-owns the interpretation loop.  Two implementations ship:
+Architectural state lives in :class:`~repro.machine.state.MachineState`;
+a backend owns the interpretation loop and takes a *(program, state)*
+pair.  ``prepare(state)`` resolves the decoded program for that state's
+process (cached per process, so N states over one binary decode once);
+``execute(program, state, res)`` runs the state from ``state.rip`` to
+completion; ``step(program, state, res, max_steps)`` advances at most
+``max_steps`` instructions and returns whether the program has halted —
+the primitive under the debugger's single-stepping and the lockstep
+MVEE's batched N-variant scheduling.
+
+Two implementations ship:
 
 * :class:`ReferenceBackend` (``"reference"``) — the original monolithic
-  interpreter loop, moved here verbatim.  It re-classifies operands and
-  re-checks fetch permissions on every instruction and is the semantic
-  baseline every other backend is measured against.
+  interpreter loop, moved here verbatim.  Its program is the process's
+  instruction index; it re-classifies operands and re-checks fetch
+  permissions on every instruction and is the semantic baseline every
+  other backend is measured against.
 * :class:`FastBackend` (``"fast"``) — drives the pre-resolved micro-op
   stream produced by :mod:`repro.machine.uops`.  Operand dispatch, memory
   address recipes, instruction costs, and i-cache line spans were all
@@ -17,14 +27,21 @@ owns the interpretation loop.  Two implementations ship:
 
 Both backends must fill byte-identical :class:`ExecutionResult`\\ s —
 same counters (including float ``cycles``, which requires identical
-addition order), same faults at the same ``cpu.rip``, same shadow-stack
-and trace-hook behaviour.  ``tests/test_backends.py`` and the equivalence
-suite hold them to that.
+addition order), same faults at the same ``rip``, same shadow-stack
+and trace-hook behaviour.  That guarantee extends to stepping: a run
+advanced in arbitrary ``step`` slices accumulates, into one result, the
+exact bytes an uninterrupted ``execute`` produces (each slice flushes
+its partial counters, and because every flush adds onto the running
+totals in program order, even the float ``cycles`` fold is identical).
+The instruction budget therefore counts ``res.instructions`` already
+accumulated — a fresh result reproduces the historical per-call
+semantics bit-for-bit.  ``tests/test_backends.py``, ``tests/test_state.py``
+and the equivalence suite hold them to all of this.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Protocol
+from typing import Dict, Optional, Protocol
 
 from repro.errors import (
     BoobyTrapTriggered,
@@ -36,7 +53,13 @@ from repro.errors import (
 )
 from repro.machine.cpu import UNTAGGED_TAG
 from repro.machine.isa import Imm, Mem, Op, Reg, VECTOR_WORDS, WORD
-from repro.machine.uops import HALT, MicroOp, SYNC, get_bound_program
+from repro.machine.uops import (
+    HALT,
+    MicroOp,
+    SYNC,
+    clone_bound_program,
+    get_bound_program,
+)
 from repro.numeric import MASK64, to_signed, truncated_div
 
 __all__ = [
@@ -52,16 +75,28 @@ __all__ = [
 
 
 class ExecutionBackend(Protocol):
-    """A pluggable dispatch/execute stage.
+    """A pluggable dispatch/execute stage over *(program, state)* pairs.
 
-    ``execute`` runs ``cpu`` from ``cpu.rip`` until EXIT or a fault,
-    accumulating into ``res`` exactly like the reference loop: counters
-    are flushed even when a fault propagates.
+    ``prepare`` resolves a state's process into whatever program form the
+    backend drives; ``execute`` runs from ``state.rip`` until EXIT or a
+    fault, accumulating into ``res`` exactly like the reference loop
+    (counters are flushed even when a fault propagates); ``step``
+    advances at most ``max_steps`` instructions and returns True once
+    the program has halted.
     """
 
     name: str
 
-    def execute(self, cpu, res):  # pragma: no cover - protocol signature
+    def prepare(self, state):  # pragma: no cover - protocol signature
+        ...
+
+    def execute(self, program, state, res):  # pragma: no cover - protocol signature
+        ...
+
+    def step(self, program, state, res, max_steps: int):  # pragma: no cover
+        ...
+
+    def clone_program(self, program, state):  # pragma: no cover
         ...
 
 
@@ -70,22 +105,47 @@ class ReferenceBackend:
 
     name = "reference"
 
-    def execute(self, cpu, res):
+    def prepare(self, state):
+        """The reference program is the process's instruction index."""
+        return state.process.instructions
+
+    def clone_program(self, program, state):
+        """Reference programs carry no per-process bindings; a "clone" is
+        just the new state's own instruction index (free either way)."""
+        return state.process.instructions
+
+    def execute(self, program, state, res):
+        self._drive(program, state, res, None)
+        res.exit_code = state._exit_code
+        state.process.exit_code = state._exit_code
+        return res
+
+    def step(self, program, state, res, max_steps: int) -> bool:
+        if state._halted:
+            return True
+        self._drive(program, state, res, max_steps)
+        if state._halted:
+            res.exit_code = state._exit_code
+            state.process.exit_code = state._exit_code
+        return state._halted
+
+    def _drive(self, program, cpu, res, max_steps: Optional[int]):
         # Local bindings for the hot loop.
-        instructions = cpu.process.instructions
+        instructions = program
         op_costs = cpu.costs.op_costs
         mem_extra = cpu.costs.mem_operand_extra
         miss_penalty = cpu.costs.icache_miss_penalty
         icache_access = cpu.icache.access
         regs = cpu.regs
         memory = cpu.process.memory
-        budget = cpu.instruction_budget
+        budget = cpu.instruction_budget - res.instructions
         count_ops = cpu.count_opcodes
         shadow = cpu.shadow_stack if cpu.shadow_stack_enabled else None
         attribute = cpu.attribute_tags
         tag_cycles = res.tag_cycles
         tag_counts = res.tag_counts
 
+        remaining = max_steps
         executed = 0
         cycles = 0.0
         calls = 0
@@ -97,6 +157,10 @@ class ReferenceBackend:
 
         try:
             while not cpu._halted:
+                if remaining is not None:
+                    if remaining == 0:
+                        break
+                    remaining -= 1
                 rip = cpu.rip
                 instr = instructions.get(rip)
                 if instr is None:
@@ -106,7 +170,9 @@ class ReferenceBackend:
 
                 executed += 1
                 if executed > budget:
-                    raise ExecutionLimitExceeded(f"budget of {budget} instructions exceeded")
+                    raise ExecutionLimitExceeded(
+                        f"budget of {cpu.instruction_budget} instructions exceeded"
+                    )
 
                 if cpu.trace_fn is not None:
                     cpu.trace_fn(cpu, rip, instr)
@@ -304,15 +370,11 @@ class ReferenceBackend:
             res.icache_misses = cpu.icache.misses
             res.output = cpu.process.output
 
-        res.exit_code = cpu._exit_code
-        cpu.process.exit_code = cpu._exit_code
-        return res
-
 
 def _missing(cpu, memory, address):
     """Fault path for control flow reaching a non-instruction address.
 
-    Mirrors the reference loop exactly: ``cpu.rip`` rests at the invalid
+    Mirrors the reference loop exactly: ``rip`` rests at the invalid
     address, a fetch-permission fault (guard page, unmapped, execute-only
     violation) takes precedence over :class:`InvalidInstruction`.
     """
@@ -333,10 +395,42 @@ class FastBackend:
 
     name = "fast"
 
-    def execute(self, cpu, res):
+    def prepare(self, state):
+        """Bind (or fetch the cached) micro-op program for the state's
+        process under its cost model.  Decode is cached per
+        (module fingerprint, config digest), binding per (process, cost
+        model) — so N states over one loaded binary share one program."""
+        return get_bound_program(state.process, state.costs)
+
+    def clone_program(self, program, state):
+        """Rebind a prepared program to ``state``'s process by cloning.
+
+        The caller guarantees the process shares the source's binary and
+        layout (see ``LockstepGroup``); the clone swaps only the memory
+        reference and per-run fetch state, skipping the full bind.  The
+        result is cached on the process like a ``prepare`` result."""
+        clone = clone_bound_program(program, state.process.memory)
+        state.process.uop_programs[id(state.costs)] = (state.costs, clone)
+        return clone
+
+    def execute(self, program, state, res):
+        self._drive(program, state, res, None)
+        res.exit_code = state._exit_code
+        state.process.exit_code = state._exit_code
+        return res
+
+    def step(self, program, state, res, max_steps: int) -> bool:
+        if state._halted:
+            return True
+        self._drive(program, state, res, max_steps)
+        if state._halted:
+            res.exit_code = state._exit_code
+            state.process.exit_code = state._exit_code
+        return state._halted
+
+    def _drive(self, program, cpu, res, max_steps: Optional[int]):
         process = cpu.process
         memory = process.memory
-        program = get_bound_program(process, cpu.costs)
         index_get = program.index.get
 
         icache = cpu.icache
@@ -345,7 +439,7 @@ class FastBackend:
         ways = icache.ways
         miss_penalty = cpu.costs.icache_miss_penalty
         mem_extra = cpu.costs.mem_operand_extra
-        budget = cpu.instruction_budget
+        budget = cpu.instruction_budget - res.instructions
         trace = cpu.trace_fn
         count_ops = cpu.count_opcodes
         opcode_counts = res.opcode_counts
@@ -353,7 +447,7 @@ class FastBackend:
         tag_cycles = res.tag_cycles
         tag_counts = res.tag_counts
 
-        # Handler-visible counters live on the CPU; driver-local ones are
+        # Handler-visible counters live on the state; driver-local ones are
         # flushed in the ``finally`` exactly like the reference loop.
         cpu._bk_shadow = cpu.shadow_stack if cpu.shadow_stack_enabled else None
         cpu._bk_calls = 0
@@ -362,6 +456,7 @@ class FastBackend:
         cpu._bk_taken = 0
         cpu._bk_traps = 0
 
+        remaining = max_steps
         executed = 0
         cycles = 0.0
         mem_ops = 0
@@ -376,6 +471,11 @@ class FastBackend:
                     _missing(cpu, memory, cpu.rip)
             else:
                 while True:
+                    if remaining is not None:
+                        if remaining == 0:
+                            cpu.rip = u.rip
+                            break
+                        remaining -= 1
                     try:
                         if u.fetch_epoch != ep:
                             memory.fetch_check(u.rip, u.size)
@@ -384,7 +484,7 @@ class FastBackend:
                         executed += 1
                         if executed > budget:
                             raise ExecutionLimitExceeded(
-                                f"budget of {budget} instructions exceeded"
+                                f"budget of {cpu.instruction_budget} instructions exceeded"
                             )
 
                         if trace is not None:
@@ -459,10 +559,6 @@ class FastBackend:
             res.icache_hits = icache.hits
             res.icache_misses = icache.misses
             res.output = process.output
-
-        res.exit_code = cpu._exit_code
-        process.exit_code = cpu._exit_code
-        return res
 
 
 DEFAULT_BACKEND = "reference"

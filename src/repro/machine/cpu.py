@@ -1,14 +1,23 @@
-"""The CPU: architectural state, operand evaluation, and backend dispatch.
+"""The CPU: a machine state bound to an execution backend.
 
-Since the fetch/decode/execute split, this module owns the *state* of the
-machine — registers, flags, the shadow stack, the i-cache, the result
-counters — while the per-instruction interpretation lives in pluggable
-execution backends (:mod:`repro.machine.backends`):
+Since the program/state split, architectural state — registers, flags,
+the shadow stack, the i-cache, the halt latch — lives in
+:class:`~repro.machine.state.MachineState`; the per-instruction
+interpretation lives in pluggable execution backends
+(:mod:`repro.machine.backends`), which take a *(program, state)* pair:
 
 * ``reference`` — the original monolithic interpreter loop, preserved
   verbatim as the semantic baseline;
 * ``fast`` — per-opcode handler tables over a pre-resolved micro-op
   stream (:mod:`repro.machine.uops`), decoded once per binary.
+
+:class:`CPU` is the thin façade that binds one state to one decoded
+program under one backend: it *is* a ``MachineState`` (so every trace
+hook, runtime service, and micro-op handler keeps receiving the familiar
+object), plus a backend name and the classic :meth:`CPU.run` /
+:meth:`CPU.step` entry points.  Callers that drive several states with
+one program — the lockstep MVEE, the debugger — talk to the backend
+directly instead.
 
 Both backends are required to produce byte-identical
 :class:`ExecutionResult` counters and to raise the same faults
@@ -26,11 +35,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import InvalidInstruction, MachineError
+from repro.errors import MachineError
 from repro.machine.costs import MachineCosts
-from repro.machine.icache import ICache
-from repro.machine.isa import Imm, Mem, Op, Reg
+from repro.machine.isa import Op
 from repro.machine.process import Process
+from repro.machine.state import MachineState
 from repro.numeric import (  # re-exported for backward compatibility
     MASK64,
     SIGN_BIT,
@@ -42,6 +51,7 @@ from repro.numeric import (  # re-exported for backward compatibility
 __all__ = [
     "CPU",
     "ExecutionResult",
+    "MachineState",
     "MASK64",
     "SIGN_BIT",
     "UNTAGGED_TAG",
@@ -107,12 +117,13 @@ class ExecutionResult:
         return PerfCounters.from_result(self)
 
 
-class CPU:
-    """Machine state for one run of a :class:`Process` under a cost model.
+class CPU(MachineState):
+    """One :class:`MachineState` bound to a named execution backend.
 
     ``backend`` selects the execution backend by name (see
     :mod:`repro.machine.backends`); the default ``"reference"`` is the
-    original interpreter loop.
+    original interpreter loop.  The decoded program is prepared lazily on
+    first :meth:`run`/:meth:`step` and cached for the CPU's lifetime.
     """
 
     def __init__(
@@ -128,70 +139,29 @@ class CPU:
         attribute_tags: bool = False,
         backend: str = "reference",
     ):
-        self.process = process
-        self.costs = costs
-        self.check_alignment = check_alignment
-        self.instruction_budget = instruction_budget
-        self.count_opcodes = count_opcodes
-        #: Backward-edge CFI (Section 8.2 comparison): calls push the
-        #: return address onto a protected shadow stack; a ret whose target
-        #: disagrees raises ShadowStackViolation.
-        self.shadow_stack_enabled = shadow_stack
-        self.shadow_stack: List[int] = []
-        #: Attribute cycles to instruction tags (overhead decomposition).
-        self.attribute_tags = attribute_tags
-        #: Optional per-instruction hook ``trace_fn(cpu, rip, instr)``,
-        #: called before execution.  Debugging/analysis only (it sees the
-        #: machine state the instruction will observe).
-        self.trace_fn = trace_fn
+        super().__init__(
+            process,
+            costs,
+            check_alignment=check_alignment,
+            instruction_budget=instruction_budget,
+            count_opcodes=count_opcodes,
+            trace_fn=trace_fn,
+            shadow_stack=shadow_stack,
+            attribute_tags=attribute_tags,
+        )
         self.backend_name = backend
-        self.icache = ICache(costs.icache_size, costs.icache_line, costs.icache_ways)
-        self.regs: List[int] = [0] * 16
-        self.regs[Reg.RSP] = process.layout.stack_top & ~0xF
-        self.vregs: List[bytes] = [bytes(32)] * 4
-        self.rip = 0
-        self._cmp = 0  # signed result of the last CMP/TEST
-        self._halted = False
-        self._exit_code = 0
-
-    # -- register access ----------------------------------------------------
-
-    def get_reg(self, reg: Reg) -> int:
-        return self.regs[reg]
-
-    def set_reg(self, reg: Reg, value: int) -> None:
-        self.regs[reg] = value & MASK64
-
-    # -- operand evaluation -------------------------------------------------
-
-    def _mem_address(self, operand: Mem) -> int:
-        addr = operand.offset
-        if operand.base is not None:
-            addr += self.regs[operand.base]
-        if operand.index is not None:
-            addr += self.regs[operand.index] * operand.scale
-        return addr & MASK64
-
-    def _read_operand(self, operand) -> int:
-        if isinstance(operand, Reg):
-            return self.regs[operand]
-        if isinstance(operand, Imm):
-            if operand.symbol is not None:
-                raise InvalidInstruction(f"unresolved symbol {operand.symbol!r} at runtime")
-            return operand.value & MASK64
-        if isinstance(operand, Mem):
-            return self.process.memory.read_word(self._mem_address(operand))
-        raise InvalidInstruction(f"cannot read operand {operand!r}")
-
-    def _write_operand(self, operand, value: int) -> None:
-        if isinstance(operand, Reg):
-            self.regs[operand] = value & MASK64
-        elif isinstance(operand, Mem):
-            self.process.memory.write_word(self._mem_address(operand), value)
-        else:
-            raise InvalidInstruction(f"cannot write operand {operand!r}")
+        self._program = None
 
     # -- execution ------------------------------------------------------------
+
+    def _bind(self):
+        """(backend, prepared program) for this CPU — prepared once."""
+        from repro.machine.backends import get_backend
+
+        backend = get_backend(self.backend_name)
+        if self._program is None:
+            self._program = backend.prepare(self)
+        return backend, self._program
 
     def run(self, entry: Optional[int] = None, result: Optional[ExecutionResult] = None) -> ExecutionResult:
         """Run from ``entry`` (default: the process entry point) until EXIT.
@@ -200,8 +170,7 @@ class CPU:
         partially filled ``result`` can be passed in by callers that want
         counters even when the run crashes.
         """
-        from repro.machine.backends import get_backend
-
+        backend, program = self._bind()
         if entry is None:
             entry = self.process.entry_point
         if entry is None:
@@ -209,15 +178,17 @@ class CPU:
         res = result if result is not None else ExecutionResult()
         self.rip = entry
         self._halted = False
-        return get_backend(self.backend_name).execute(self, res)
+        return backend.execute(program, self, res)
 
-    def _branch_target(self, operand) -> int:
-        if isinstance(operand, Imm):
-            if operand.symbol is not None:
-                raise InvalidInstruction(f"unresolved branch target {operand.symbol!r}")
-            return operand.value & MASK64
-        if isinstance(operand, Reg):
-            return self.regs[operand]
-        if isinstance(operand, Mem):
-            return self.process.memory.read_word(self._mem_address(operand))
-        raise InvalidInstruction(f"bad branch target {operand!r}")
+    def step(self, result: ExecutionResult, max_steps: int = 1) -> bool:
+        """Execute up to ``max_steps`` instructions from the current ``rip``.
+
+        Returns True once the program has halted.  Counters accumulate
+        into ``result`` across calls, and a sequence of steps is
+        byte-identical to one uninterrupted :meth:`run` — including the
+        instruction budget, which counts ``result.instructions`` as
+        already spent.  Callers start a fresh run by setting ``rip`` (or
+        calling :meth:`run`); ``step`` never resets state.
+        """
+        backend, program = self._bind()
+        return backend.step(program, self, result, max_steps)

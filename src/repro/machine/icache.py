@@ -61,6 +61,19 @@ class ICache:
                     entries.popitem(last=False)
         return misses
 
+    def clone(self) -> "ICache":
+        """Deep copy: same geometry, same resident lines (with LRU order),
+        same hit/miss counters.  Used by ``MachineState.clone()`` so a
+        snapshot's future cache behaviour matches the original's exactly."""
+        twin = ICache.__new__(ICache)
+        twin.line_size = self.line_size
+        twin.ways = self.ways
+        twin.num_sets = self.num_sets
+        twin._sets = [OrderedDict(entries) for entries in self._sets]
+        twin.hits = self.hits
+        twin.misses = self.misses
+        return twin
+
     def reset_counters(self) -> None:
         self.hits = 0
         self.misses = 0

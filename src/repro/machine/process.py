@@ -140,6 +140,43 @@ class Process:
         self.memory.map_region(layout.stack_base, layout.stack_size, Perm.RW)
         self.note_resident()
 
+    # -- replica cloning -----------------------------------------------------
+
+    def clone(self) -> "Process":
+        """Fork an identical replica: same binary, same layout, private
+        memory/allocator/output/services.
+
+        The decoded instruction index and the symbol table are immutable
+        after loading, so they are shared; everything a run mutates
+        (memory pages, allocator state, the output stream, the service
+        table, bound micro-op programs) is copied or reset.  Cloning a
+        loaded process is an order of magnitude cheaper than re-loading
+        the binary — it skips section mapping, instruction rebasing, and
+        the runtime constructors — which is how N-replica lockstep groups
+        keep per-variant setup cost below the fixed pipeline cost."""
+        clone = Process.__new__(Process)
+        clone.layout = self.layout
+        clone.memory = self.memory.clone()
+        clone.execute_only_text = self.execute_only_text
+        clone.instructions = self.instructions
+        clone.entry_point = self.entry_point
+        clone.symbols = self.symbols
+        clone.output = list(self.output)
+        clone.exit_code = self.exit_code
+        clone._services = dict(self._services)
+        clone._peak_resident = self._peak_resident
+        clone.uop_programs = {}
+        clone.binary = self.binary
+        clone.allocator = (
+            None if self.allocator is None else self.allocator.clone(clone.memory)
+        )
+        clone.text_base = self.text_base
+        clone.data_base = self.data_base
+        runtime_info = getattr(self, "r2c_runtime", None)
+        if runtime_info is not None:
+            clone.r2c_runtime = dict(runtime_info)
+        return clone
+
     # -- instruction index ---------------------------------------------------
 
     def place_instruction(self, address: int, instr: Instruction) -> None:

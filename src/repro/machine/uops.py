@@ -847,6 +847,60 @@ def _bind(
     return BoundProgram(index)
 
 
+def clone_bound_program(program: BoundProgram, memory) -> BoundProgram:
+    """Rebind ``program`` to another process's memory without re-binding.
+
+    Sound only when the target process shares the source's binary *and*
+    layout: every pre-resolved field (rips, absolute operand addresses,
+    branch targets, immediates) is layout-derived and therefore identical,
+    so only the two per-process slots change — ``mem`` points at the new
+    process's memory and ``fetch_epoch`` (per-run i-cache fetch state)
+    resets.  Each clone owns private micro-ops, so concurrent variants in
+    a lockstep group never share mutable fetch state.
+
+    This skips template resolution and operand classification entirely,
+    which is what lets :class:`~repro.defenses.lockstep.LockstepGroup`
+    amortize decode *and* bind across N replicas of one image.
+    """
+    source = program.index
+    index: Dict[int, MicroOp] = {}
+    for addr, u in source.items():
+        c = MicroOp()
+        c.rip = u.rip
+        c.next_rip = u.next_rip
+        c.size = u.size
+        c.op = u.op
+        c.tag = u.tag
+        c.instr = u.instr
+        c.base_cost = u.base_cost
+        c.has_mem = u.has_mem
+        c.lines = u.lines
+        c.handler = u.handler
+        c.a_reg = u.a_reg
+        c.b_reg = u.b_reg
+        c.imm = u.imm
+        c.a_base = u.a_base
+        c.a_off = u.a_off
+        c.b_base = u.b_base
+        c.b_off = u.b_off
+        c.sym = u.sym
+        c.mem = memory
+        c.fetch_epoch = -1
+        c.next_u = None
+        c.target = None
+        index[addr] = c
+    for addr, u in source.items():
+        c = index[addr]
+        if u.next_u is not None:
+            c.next_u = index[u.next_u.rip]
+        target = u.target
+        if isinstance(target, MicroOp):
+            c.target = index[target.rip]
+        else:
+            c.target = target
+    return BoundProgram(index)
+
+
 def get_bound_program(process, costs) -> BoundProgram:
     """Bound micro-op table for ``process`` under ``costs``, cached per pair."""
     cache = process.uop_programs

@@ -43,7 +43,14 @@ from repro.core.config import R2CConfig
 from repro.eval.engine import ExperimentEngine, RequestBatch, RunRequest
 from repro.workloads.spec import SPEC_BENCHMARKS, build_spec_benchmark
 
-__all__ = ["BENCH_SCHEMA", "BenchCell", "BenchReport", "run_bench", "validate"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchCell",
+    "BenchReport",
+    "run_bench",
+    "run_lockstep_bench",
+    "validate",
+]
 
 BENCH_SCHEMA = "repro-bench/v1"
 
@@ -94,6 +101,9 @@ class BenchReport:
     jobs: int
     cells: List[BenchCell] = field(default_factory=list)
     engine: Dict[str, object] = field(default_factory=dict)
+    #: N-variant lockstep leg (``--lockstep N``): amortized-decode cost of
+    #: running N diversified-ASLR variants vs one (empty when not run).
+    lockstep: Dict[str, object] = field(default_factory=dict)
 
     def cell(self, workload: str, config: str) -> BenchCell:
         for cell in self.cells:
@@ -115,6 +125,8 @@ class BenchReport:
             "cells": [asdict(cell) for cell in self.cells],
             "engine": dict(self.engine),
         }
+        if self.lockstep:
+            data["lockstep"] = dict(self.lockstep)
         return json.dumps(data, sort_keys=True, indent=2)
 
     @classmethod
@@ -166,6 +178,142 @@ def validate(data: Dict[str, object]) -> List[str]:
             if key not in cell:
                 problems.append(f"cells[{position}] missing {key!r}")
     return problems
+
+
+def run_lockstep_bench(
+    *,
+    variants: int = 4,
+    backend: str = "fast",
+    machine: str = "epyc-rome",
+    requests: int = 2,
+    sync_every: int = 4096,
+    load_seed: int = 1,
+    repeats: int = 5,
+) -> Dict[str, object]:
+    """Measure the N-variant lockstep leg on the webserver workload.
+
+    Two measurements, each paying its own fixed costs (fresh build seed
+    per repetition, so neither leg hits the other's compile/decode
+    caches):
+
+    * **single** — compile + load + decode + bind + run one variant,
+      start to finish;
+    * **lockstep** — compile + decode + bind + load *once*, then fork N
+      replicas under one layout (the corruption-detection deployment of
+      :class:`~repro.defenses.lockstep.LockstepGroup`, with the per-sync
+      register/rip cross-check armed) and run them in one batched
+      scheduling loop.  Replicas 2..N are ``Process.clone()`` forks and
+      receive a clone of the leader's bound program
+      (``Backend.clone_program``), so the fixed
+      compile + decode + bind + load pipeline runs exactly once.
+
+    The headline number is ``cost_ratio`` (lockstep wall / single wall),
+    taken over the best of ``repeats`` repetitions per leg (host wall
+    time is environmental; the minimum is the least-noisy estimator, and
+    the collector is paused while a leg is on the clock).  Both legs use
+    the same ``heap_size``, so the comparison is apples-to-apples.
+    Because one decode+bind serves all N states, N variants cost far
+    less than N independent pipelines — the scaling story the
+    program/state split buys.  Simulated work (``cycles``,
+    ``instructions``) is also recorded per leg; it scales ~linearly in N
+    by construction.
+    """
+    import gc
+    import time
+
+    from repro.core.compiler import compile_module
+    from repro.defenses.lockstep import LockstepGroup
+    from repro.machine.backends import get_backend
+    from repro.machine.costs import get_costs
+    from repro.machine.cpu import ExecutionResult
+    from repro.machine.loader import load_binary
+    from repro.machine.state import MachineState
+    from repro.workloads.webserver import build_webserver
+
+    module = build_webserver(requests=requests)
+    costs = get_costs(machine)
+    backend_impl = get_backend(backend)
+    # The webserver needs well under a megabyte of heap; the default 8 MiB
+    # arena would make page bookkeeping (not the workload) the dominant
+    # cost of every load and fork in both legs.
+    heap_size = 2 * 1024 * 1024
+
+    single_walls: List[float] = []
+    lockstep_walls: List[float] = []
+    single_result = ExecutionResult()
+    lockstep_result = None
+    total_instructions = total_cycles = 0
+    gc_was_enabled = gc.isenabled()
+    try:
+        for rep in range(max(repeats, 1)):
+            # -- single-variant leg (fresh compile + decode + load + run) --
+            gc.collect()
+            gc.disable()
+            start = time.perf_counter()
+            binary = compile_module(module, R2CConfig.full(seed=0xA5 + 2 * rep))
+            process = load_binary(binary, seed=load_seed, heap_size=heap_size)
+            state = MachineState(process, costs)
+            state.rip = process.entry_point
+            state._halted = False
+            program = backend_impl.prepare(state)
+            single_result = ExecutionResult()
+            backend_impl.execute(program, state, single_result)
+            single_walls.append(time.perf_counter() - start)
+            gc.enable()
+
+            # -- N-replica lockstep leg (one compile+decode+bind+load) -----
+            gc.collect()
+            gc.disable()
+            start = time.perf_counter()
+            binary = compile_module(module, R2CConfig.full(seed=0xB6 + 2 * rep))
+            leader = load_binary(binary, seed=load_seed, heap_size=heap_size)
+            processes = [leader] + [
+                leader.clone() for _ in range(variants - 1)
+            ]
+            group = LockstepGroup(
+                processes, costs=costs, backend=backend, sync_every=sync_every
+            )
+            lockstep_result = group.run()
+            lockstep_walls.append(time.perf_counter() - start)
+            gc.enable()
+            total_instructions = sum(
+                v.result.instructions for v in group.variants
+            )
+            total_cycles = sum(v.result.cycles for v in group.variants)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    single_wall = min(single_walls)
+    lockstep_wall = min(lockstep_walls)
+    ratio = lockstep_wall / single_wall if single_wall else float("inf")
+    return {
+        "workload": "webserver",
+        "requests": requests,
+        "variants": variants,
+        "backend": backend,
+        "machine": machine,
+        "sync_every": sync_every,
+        "repeats": max(repeats, 1),
+        "outcome": lockstep_result.outcome.value,
+        "sync_points": lockstep_result.sync_points,
+        "single": {
+            "wall_seconds": round(single_wall, 4),
+            "wall_seconds_all": [round(w, 4) for w in single_walls],
+            "cycles": single_result.cycles,
+            "instructions": single_result.instructions,
+        },
+        "lockstep": {
+            "wall_seconds": round(lockstep_wall, 4),
+            "wall_seconds_all": [round(w, 4) for w in lockstep_walls],
+            "cycles": total_cycles,
+            "instructions": total_instructions,
+        },
+        "cost_ratio": round(ratio, 3),
+        "cost_per_added_variant": round(
+            (lockstep_wall - single_wall) / max(variants - 1, 1), 4
+        ),
+    }
 
 
 def run_bench(

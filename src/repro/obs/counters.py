@@ -59,7 +59,7 @@ from typing import Dict
 
 from repro.machine.cpu import UNTAGGED_TAG, ExecutionResult
 
-__all__ = ["PerfCounters", "UNTAGGED_TAG"]
+__all__ = ["PerfCounters", "UNTAGGED_TAG", "merge_variant_counters"]
 
 
 @dataclass
@@ -127,3 +127,37 @@ class PerfCounters:
         data = json.loads(text)
         known = {f.name for f in fields(cls)}
         return cls(**{key: value for key, value in data.items() if key in known})
+
+
+def merge_variant_counters(per_variant: Dict[str, "PerfCounters"]) -> PerfCounters:
+    """Merge N variants' counters into one group view with per-variant
+    tag attribution.
+
+    Scalar events sum across variants (a lockstep group really executed
+    that many instructions / paid that many cycles).  Tag buckets are
+    namespaced ``<label>/<tag>`` (e.g. ``v1/btra-setup``, ``v0/app``) so
+    the decomposition invariant survives the merge —
+    ``sum(tag_counts.values())`` still equals the merged ``instructions``
+    when every variant ran with ``attribute_tags=True`` — while keeping
+    each variant's diversification overhead individually attributable.
+    """
+    merged = PerfCounters()
+    for label, counters in per_variant.items():
+        merged.instructions += counters.instructions
+        merged.cycles += counters.cycles
+        merged.calls += counters.calls
+        merged.rets += counters.rets
+        merged.branches += counters.branches
+        merged.branches_taken += counters.branches_taken
+        merged.branch_mispredicts += counters.branch_mispredicts
+        merged.icache_hits += counters.icache_hits
+        merged.icache_misses += counters.icache_misses
+        merged.mem_ops += counters.mem_ops
+        merged.traps += counters.traps
+        merged.btra_events += counters.btra_events
+        merged.btdp_events += counters.btdp_events
+        for tag, cycles in counters.tag_cycles.items():
+            merged.tag_cycles[f"{label}/{tag}"] = cycles
+        for tag, count in counters.tag_counts.items():
+            merged.tag_counts[f"{label}/{tag}"] = count
+    return merged

@@ -61,10 +61,18 @@ class CycleProfiler:
     The constructor installs itself as ``cpu.trace_fn`` (chaining any
     hook already present — the debugger, a test spy — which keeps firing
     first); :meth:`detach` restores the previous hook.
+
+    ``variant`` optionally names the machine state being profiled (e.g.
+    ``"v1"`` in an N-variant lockstep group): it becomes the root frame
+    of every folded stack, so N per-variant profiles concatenate into one
+    flamegraph with a subtree per variant.  The default (``None``) leaves
+    all keys exactly as before.
     """
 
-    def __init__(self, cpu):
+    def __init__(self, cpu, *, variant: Optional[str] = None):
         self.cpu = cpu
+        self.variant = variant
+        self._prefix = f"{variant};" if variant else ""
         costs = cpu.costs
         self._op_costs = costs.op_costs
         self._mem_extra = costs.mem_operand_extra
@@ -158,7 +166,7 @@ class CycleProfiler:
         self.rip_cycles[rip] = self.rip_cycles.get(rip, 0.0) + cost
         self.rip_counts[rip] = self.rip_counts.get(rip, 0) + 1
         self.func_cycles[fn] = self.func_cycles.get(fn, 0.0) + cost
-        key = ";".join(stack)
+        key = self._prefix + ";".join(stack)
         self.stack_cycles[key] = self.stack_cycles.get(key, 0.0) + cost
 
     # -- output -------------------------------------------------------------

@@ -36,6 +36,29 @@ ATTACK_ARG = 0x5CA7
 BENIGN_PARAM = 7
 
 
+def fire_once(service):
+    """Wrap an ``attack_hook`` service so only its *first* call runs it.
+
+    The victim's vulnerability sits inside ``validate``, which executes
+    once per request iteration — but every attack model in the paper
+    corrupts the process exactly once (the Malicious Thread Blocking
+    moment of Section 3).  Single-victim probes, the MVEE leader/follower
+    hooks, and N-variant lockstep sessions all share this wrapper so the
+    "one corruption per process" semantics stay identical everywhere.
+    Later firings are benign no-ops returning 0.
+    """
+    fired = {}
+
+    def hook(process, cpu):
+        if fired:
+            return 0
+        fired["yes"] = True
+        value = service(process, cpu)
+        return 0 if value is None else value
+
+    return hook
+
+
 @dataclass
 class VictimLayoutInfo:
     """Names of the victim's attack-relevant symbols (for building the

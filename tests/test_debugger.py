@@ -1,20 +1,22 @@
-"""Backfill tests for the trace-hook debugger.
+"""Backfill tests for the step-based debugger.
 
 Breakpoints (by address and symbol), single-stepping, watchpoints, and
 composition with the profiler — each checked for parity across both
-execution backends, since the debugger rides the same ``trace_fn`` hook
-on either.
+execution backends, since the debugger drives either backend's ``step``
+primitive over an explicit :class:`MachineState`.
 """
 
 import pytest
 
 from repro.core.compiler import compile_module
 from repro.core.config import R2CConfig
+from repro.machine.backends import get_backend
 from repro.machine.costs import get_costs
 from repro.machine.cpu import CPU
 from repro.machine.debugger import Debugger
 from repro.machine.isa import Imm, Instruction, Mem, Op, Reg
 from repro.machine.loader import load_binary
+from repro.machine.state import MachineState
 
 from tests.test_backends import BACKENDS, DATA, assemble
 
@@ -76,10 +78,10 @@ def test_breakpoint_then_resume_matches_undebugged_run():
         assert debugger.cont()
         assert debugger.result.exit_code == plain.exit_code
         assert list(process.output) == list(plain_process.output)
-        # The stopped-at instruction is fetched again on resume, so the
-        # accumulated count runs one high per stop; cycles stay exact
-        # because cost accounting happens after the hook.
-        assert debugger.result.instructions == plain.instructions + 1
+        # Step-based stopping never re-fetches: the accumulated result of
+        # a debugged run is byte-identical to the undebugged run, counts
+        # and float cycles included.
+        assert debugger.result.instructions == plain.instructions
         assert debugger.result.cycles == plain.cycles
 
 
@@ -129,12 +131,65 @@ def test_watchpoint_records_old_and_new_values():
     assert values == [(0, 0xBEEF), (0xBEEF, 0xCAFE)]
 
 
-def test_debugger_rejects_occupied_trace_hook():
+def test_debugger_leaves_trace_hook_free():
+    """The step-based debugger does not occupy ``trace_fn``: a hook
+    installed before (or after) attaching keeps seeing every executed
+    instruction exactly once."""
     process, _ = counting_program()
     cpu = CPU(process, get_costs("epyc-rome"))
-    cpu.trace_fn = lambda c, rip, ins: None
-    with pytest.raises(ValueError):
-        Debugger(cpu)
+    seen = []
+    cpu.trace_fn = lambda c, rip, ins: seen.append(rip)
+    debugger = Debugger(cpu)
+    assert cpu.trace_fn is not None  # not displaced
+    assert debugger.cont()
+    assert len(seen) == debugger.result.instructions == 5
+
+
+def test_debugger_drives_bare_machine_state():
+    """Single-stepping works against a MachineState passed explicitly —
+    no CPU façade required, backend chosen by name."""
+    for backend in BACKENDS:
+        process, addresses = counting_program()
+        state = MachineState(process, get_costs("epyc-rome"))
+        debugger = Debugger(state, backend=backend)
+        assert not debugger.step(3)
+        assert state.rip == addresses[3]
+        assert state.regs[Reg.RAX] == 12
+        assert debugger.step(100)
+        assert debugger.result.exit_code == 0
+        assert list(process.output) == [12]
+
+
+def test_debugged_run_matches_plain_run_counters():
+    """The refetch quirk is gone: stepping one instruction at a time
+    accumulates exactly the undebugged run's result on both backends."""
+    for backend in BACKENDS:
+        plain_process, _ = counting_program()
+        plain = CPU(plain_process, get_costs("epyc-rome"), backend=backend).run()
+
+        process, _ = counting_program()
+        state = MachineState(process, get_costs("epyc-rome"))
+        debugger = Debugger(state, backend=backend)
+        while not debugger.step():
+            pass
+        assert debugger.result.instructions == plain.instructions
+        assert debugger.result.cycles == plain.cycles
+        assert debugger.result.exit_code == plain.exit_code
+
+
+def test_stepping_respects_instruction_budget():
+    """The budget counts accumulated instructions across step slices, so a
+    stepped run faults at exactly the same instruction as a plain run."""
+    from repro.errors import ExecutionLimitExceeded
+
+    for backend in BACKENDS:
+        process, _ = counting_program()
+        cpu = CPU(process, get_costs("epyc-rome"), backend=backend, instruction_budget=3)
+        debugger = Debugger(cpu)
+        assert not debugger.step(2)
+        with pytest.raises(ExecutionLimitExceeded):
+            debugger.step(2)
+        assert debugger.result.instructions == 4  # counted like the plain run
 
 
 def test_profiler_chains_onto_debugger():
@@ -150,10 +205,8 @@ def test_profiler_chains_onto_debugger():
     assert not debugger.cont()
     assert cpu.rip == addresses[3]
     assert debugger.cont()
-    # The debugger's _Stop fires inside the chained hook before the
-    # profiler accounts the stopped-at instruction, so the profiler counts
-    # each executed instruction exactly once while the debugger's
-    # accumulated result runs one high per stop (see the resume quirk in
-    # test_breakpoint_then_resume_matches_undebugged_run).
-    assert profiler.instructions == debugger.result.instructions - 1
+    # The debugger no longer rides the trace hook, so the profiler sees
+    # each executed instruction exactly once and both tallies agree — the
+    # old one-high-per-stop refetch quirk is gone.
+    assert profiler.instructions == debugger.result.instructions
     assert profiler.total_cycles == debugger.result.cycles

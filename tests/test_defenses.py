@@ -16,7 +16,19 @@ def test_all_paper_rows_present():
         "krx",
         "shadowstack",
         "r2c",
+        "r2c-mvee",
     ]
+
+
+def test_mvee_row_is_n_variant():
+    """The Section 7.3 combination row deploys 2 lockstep variants; every
+    other row keeps the single-variant default."""
+    assert DEFENSE_MODELS["r2c-mvee"].variants == 2
+    assert all(
+        model.variants == 1
+        for name, model in DEFENSE_MODELS.items()
+        if name != "r2c-mvee"
+    )
 
 
 def test_victim_config_reseeds():

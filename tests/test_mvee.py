@@ -89,5 +89,33 @@ def test_mvee_result_bookkeeping():
     assert len(result.variants) == 2
     assert mvee_attack_outcome(result) in (
         AttackOutcome.DETECTED,
+        AttackOutcome.DIVERGED,
         AttackOutcome.FAILED,
     )
+    if result.outcome is MveeOutcome.DIVERGED:
+        # Lockstep divergence carries its CrashReport-style evidence.
+        assert result.divergence is not None
+        assert 1 <= result.divergence.variant < 2
+        assert result.divergence.sync_point >= 1
+
+
+def test_mvee_alloc_sequences_agree_on_benign_runs():
+    """The identical-allocation-sequence invariant that makes by-address
+    write replay sound: every diversified variant issues the same malloc
+    request sizes in the same order (asserted each sync point by the
+    lockstep group; observed here over a clean run)."""
+    from repro.defenses.lockstep import LockstepGroup
+    from repro.machine.loader import load_binary
+
+    mvee = MVEE(R2CConfig.full(), variants=3, build_seed=10)
+    processes = []
+    for binary in mvee.binaries:
+        process = load_binary(binary, seed=mvee.load_seed)
+        process.register_service("attack_hook", lambda proc, cpu: 0)
+        processes.append(process)
+    group = LockstepGroup(processes, compare_state=False)
+    result = group.run()
+    assert result.outcome is MveeOutcome.CLEAN
+    logs = [variant.alloc_log for variant in group.variants]
+    assert logs[0], "victim workload allocates; the invariant must be exercised"
+    assert logs[0] == logs[1] == logs[2]

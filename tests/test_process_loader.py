@@ -125,3 +125,49 @@ def test_function_pointer_reloc_points_at_function():
     binary = compile_module(ir.finish())
     process = load_binary(binary, seed=3)
     assert process.memory.read_word(process.symbols["fp"]) == process.symbols["callee"]
+
+
+def test_cloned_process_runs_byte_identical_to_fresh_load():
+    """Process.clone() is a faithful fork: a clone of a loaded full-R2C
+    process executes exactly like a second load under the same seed, on
+    both backends."""
+    from repro.machine.loader import make_cpu
+    from repro.workloads.victim import build_victim
+
+    binary = compile_module(build_victim(requests=3), R2CConfig.full(seed=9))
+    for backend in ("reference", "fast"):
+        original = load_binary(binary, seed=7)
+        fresh = load_binary(binary, seed=7)
+        clone = original.clone()
+        for process in (fresh, clone):
+            process.register_service("attack_hook", lambda proc, cpu: 0)
+        results = []
+        for process in (fresh, clone):
+            cpu = make_cpu(process, "epyc-rome", backend=backend)
+            results.append(cpu.run())
+        assert fresh.output == clone.output
+        assert results[0].instructions == results[1].instructions
+        assert results[0].cycles == results[1].cycles
+        assert results[0].exit_code == results[1].exit_code
+
+
+def test_cloned_process_is_isolated():
+    """Writes, protection changes, and allocations on the clone never show
+    through to the original (and vice versa)."""
+    binary = compile_module(tiny_module())
+    original = load_binary(binary, seed=5)
+    clone = original.clone()
+
+    slot = original.symbols["g"]
+    assert clone.memory.read_word(slot) == 123
+    clone.memory.store_word_raw(slot, 456)
+    assert original.memory.read_word(slot) == 123
+    original.memory.store_word_raw(slot, 789)
+    assert clone.memory.read_word(slot) == 456
+
+    ptr = clone.allocator.malloc(64)
+    assert ptr not in original.allocator._live
+    clone.memory.protect(original.layout.data_base, PAGE_SIZE, Perm.NONE)
+    with pytest.raises(MemoryFault):
+        clone.memory.read(slot, 8)
+    original.memory.read(slot, 8)  # original unaffected

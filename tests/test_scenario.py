@@ -98,6 +98,42 @@ def test_victim_session_with_build_seed_override():
     assert a.binary.symbols_text != b.binary.symbols_text
 
 
+def test_n_variant_session_monoculture_is_compromised():
+    """Identical (baseline) variants offer the lockstep no divergence to
+    catch: the replicated writes compromise every variant."""
+    from repro.attacks.rop import make_rop_hook
+
+    session = VictimSession(R2CConfig.baseline(), variants=2, build_seed=1)
+    result = run_attack(session, make_rop_hook(), "rop")
+    assert result.outcome is AttackOutcome.SUCCESS
+
+
+def test_n_variant_session_surfaces_diverged_outcome():
+    """Weak (code-only) diversity loses one-on-one to AOCR, but the
+    2-variant lockstep session turns the attack into DIVERGED — the
+    first-class outcome, counted by the monitor."""
+    from repro.attacks.aocr import make_aocr_hook
+
+    code_only = R2CConfig(
+        enable_function_shuffle=True,
+        enable_global_shuffle=True,
+        enable_stack_slot_shuffle=True,
+    )
+    session = VictimSession(code_only, variants=2, build_seed=80)
+    result = run_attack(session, make_aocr_hook(), "aocr", attacker_seed=0)
+    assert result.outcome is AttackOutcome.DIVERGED
+    assert session.monitor.divergences == 1
+    assert session.monitor.detections >= 1
+
+
+def test_single_variant_session_is_unchanged():
+    session = VictimSession(R2CConfig.full(), build_seed=1)
+    assert session.variants == 1
+    assert session.variant_binaries == [session.binary]
+    with pytest.raises(ValueError):
+        VictimSession(R2CConfig.full(), variants=0)
+
+
 def test_cli_list_and_unknown(capsys):
     from repro.__main__ import main
 
