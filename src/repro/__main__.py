@@ -339,6 +339,95 @@ def profile_main(argv) -> int:
     return 0
 
 
+def disasm_blocks_main(argv) -> int:
+    """``python -m repro disasm-blocks``: the tier-1 block CFG of one
+    workload.
+
+    Compiles and loads the workload exactly as a run would, recovers the
+    basic-block CFG from the bound micro-op program
+    (:func:`repro.machine.blocks.recover_blocks`), and prints one section
+    per block: address range, instruction count, the tier the
+    progressive-lowering pipeline takes it to (2 = compiles to a block
+    function, 1 = interpreter-only, with the disqualifying reason),
+    superinstruction fusion annotations, and static successor edges.
+    """
+    from repro.core.compiler import R2CCompiler
+    from repro.core.config import R2CConfig
+    from repro.machine.blocks import recover_blocks
+    from repro.machine.loader import load_binary, make_cpu
+    from repro.machine.uops import get_bound_program
+    from repro.workloads.spec import SPEC_BENCHMARKS, build_spec_benchmark
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro disasm-blocks",
+        description="Print the recovered basic-block CFG of one workload "
+        "with per-block lowering tiers and fusion annotations.",
+    )
+    parser.add_argument(
+        "workload", choices=sorted(SPEC_BENCHMARKS), help="SPEC workload to disassemble"
+    )
+    parser.add_argument(
+        "--config",
+        default="full",
+        choices=("baseline", "full"),
+        help="diversification config (default: full)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, metavar="N", help="compile seed (default: 1)"
+    )
+    parser.add_argument(
+        "--load-seed", type=int, default=1, metavar="N", help="loader ASLR seed"
+    )
+    parser.add_argument(
+        "--machine", default="epyc-rome", help="cost model (default: epyc-rome)"
+    )
+    parser.add_argument(
+        "--tier", type=int, default=None, choices=(1, 2), help="only blocks at this tier"
+    )
+    args = parser.parse_args(argv)
+
+    if args.config == "full":
+        config = R2CConfig.full(seed=args.seed)
+    else:
+        config = R2CConfig.baseline(seed=args.seed)
+    module = build_spec_benchmark(args.workload)
+    binary = R2CCompiler(config).compile(module)
+    process = load_binary(binary, seed=args.load_seed)
+    cpu = make_cpu(process, args.machine)
+    program = recover_blocks(get_bound_program(process, cpu.costs))
+    stats = program.stats()
+    print(
+        f"{args.workload} ({args.config}, seed {args.seed}): "
+        f"{stats['blocks']} blocks, {stats['tier2_blocks']} at tier 2, "
+        f"{stats['tier1_blocks']} at tier 1, "
+        f"{stats['superinstructions_fused']} superinstructions fused"
+    )
+    # Address -> symbol for block-head labels (function heads only).
+    symbols = {
+        address: name
+        for name, address in sorted(process.symbols.items())
+        if "::" not in name
+    }
+    for block in program.blocks:
+        if args.tier is not None and block.tier != args.tier:
+            continue
+        label = symbols.get(block.addr)
+        where = f" <{label}>" if label else ""
+        print(
+            f"\nblock {block.bid}{where}: [{block.addr:#x}, {block.end:#x}) "
+            f"{len(block)} uops, tier {block.tier}"
+        )
+        if block.reason:
+            print(f"  stays tier 1: {block.reason}")
+        for kind, start, count in block.fused:
+            first = block.uops[start]
+            print(f"  fused {kind}: {count} uops from {first.rip:#x}")
+        for kind, target in block.successors():
+            where = f"{target:#x}" if target is not None else "dynamic"
+            print(f"  -> {kind} {where}")
+    return 0
+
+
 def mvee_main(argv) -> int:
     """``python -m repro mvee``: run N variants in batched lockstep.
 
@@ -597,6 +686,8 @@ def main(argv=None) -> int:
         return chaos_main(list(argv[1:]))
     if argv and argv[0] == "profile":
         return profile_main(list(argv[1:]))
+    if argv and argv[0] == "disasm-blocks":
+        return disasm_blocks_main(list(argv[1:]))
     if argv and argv[0] == "bench":
         return bench_main(list(argv[1:]))
     if argv and argv[0] == "mvee":
@@ -641,6 +732,7 @@ def main(argv=None) -> int:
         print(f"  {'lint':13s} Static verification sweep (own flags; see lint --help)")
         print(f"  {'chaos':13s} Fault-injection matrix (own flags; see chaos --help)")
         print(f"  {'profile':13s} Hot-path cycle profile (own flags; see profile --help)")
+        print(f"  {'disasm-blocks':13s} Tier-1 block CFG dump (own flags; see disasm-blocks --help)")
         print(f"  {'bench':13s} Benchmark regression harness (own flags; see bench --help)")
         print(f"  {'mvee':13s} N-variant lockstep cross-check (own flags; see mvee --help)")
         return 0

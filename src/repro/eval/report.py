@@ -275,6 +275,14 @@ def render_bench(report) -> str:
             f"run {engine.get('run_seconds', 0.0):.2f}s, "
             f"failures {engine.get('failures', 0)}"
         )
+    tiers = getattr(report, "tiers", None)
+    if tiers:
+        lines.append(
+            f"tiers:  {tiers.get('blocks_compiled', 0)} blocks compiled, "
+            f"{tiers.get('superinstructions_fused', 0)} superinstructions fused, "
+            f"{tiers.get('deopts', 0)} deopts, "
+            f"{tiers.get('code_cache_hits', 0)} code-cache hits"
+        )
     return "\n".join(lines)
 
 

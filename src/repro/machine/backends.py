@@ -10,7 +10,7 @@ completion; ``step(program, state, res, max_steps)`` advances at most
 the primitive under the debugger's single-stepping and the lockstep
 MVEE's batched N-variant scheduling.
 
-Two implementations ship:
+Three implementations ship:
 
 * :class:`ReferenceBackend` (``"reference"``) — the original monolithic
   interpreter loop, moved here verbatim.  Its program is the process's
@@ -24,19 +24,30 @@ Two implementations ship:
   cost bookkeeping.  Fetch-permission checks are memoized per micro-op
   against :attr:`Memory.perm_epoch`, which every mapping/protection
   change bumps.
+* :class:`~repro.machine.jit.JitBackend` (``"jit"``) — the final stage
+  of the progressive-lowering pipeline (tier 0: micro-ops; tier 1:
+  basic-block CFG with superinstruction fusion,
+  :mod:`repro.machine.blocks`; tier 2: one ``exec``-compiled Python
+  function per block, :mod:`repro.machine.jit`).  Budget checks, cost
+  folds, and i-cache accounting collapse into block prologs; anything
+  the compiled form cannot express bit-identically deopts to the
+  ``fast`` interpreter mid-run.
 
-Both backends must fill byte-identical :class:`ExecutionResult`\\ s —
-same counters (including float ``cycles``, which requires identical
-addition order), same faults at the same ``rip``, same shadow-stack
-and trace-hook behaviour.  That guarantee extends to stepping: a run
-advanced in arbitrary ``step`` slices accumulates, into one result, the
-exact bytes an uninterrupted ``execute`` produces (each slice flushes
-its partial counters, and because every flush adds onto the running
-totals in program order, even the float ``cycles`` fold is identical).
-The instruction budget therefore counts ``res.instructions`` already
-accumulated — a fresh result reproduces the historical per-call
-semantics bit-for-bit.  ``tests/test_backends.py``, ``tests/test_state.py``
-and the equivalence suite hold them to all of this.
+All backends must fill byte-identical :class:`ExecutionResult`\\ s —
+same counters, same faults at the same ``rip``, same shadow-stack and
+trace-hook behaviour.  Cycle accounting is carried in exact integer
+units (``costs.CYCLE_UNIT`` units per cycle); because integer addition
+is associative the grouping of the additions is immaterial — a backend
+may charge per instruction, per ``step`` slice, or per folded basic
+block and still land on the same total.  Float ``res.cycles`` is
+*derived* from ``res.cycle_units`` at every flush (one exact division),
+never accumulated in float, so a run advanced in arbitrary ``step``
+slices accumulates, into one result, the exact bytes an uninterrupted
+``execute`` produces.  The instruction budget counts
+``res.instructions`` already accumulated — a fresh result reproduces
+the historical per-call semantics bit-for-bit.
+``tests/test_backends.py``, ``tests/test_state.py`` and the equivalence
+suite hold them to all of this.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ from repro.errors import (
     ShadowStackViolation,
     StackMisaligned,
 )
+from repro.machine.costs import CYCLE_UNIT
 from repro.machine.cpu import UNTAGGED_TAG
 from repro.machine.isa import Imm, Mem, Op, Reg, VECTOR_WORDS, WORD
 from repro.machine.uops import (
@@ -132,9 +144,9 @@ class ReferenceBackend:
     def _drive(self, program, cpu, res, max_steps: Optional[int]):
         # Local bindings for the hot loop.
         instructions = program
-        op_costs = cpu.costs.op_costs
-        mem_extra = cpu.costs.mem_operand_extra
-        miss_penalty = cpu.costs.icache_miss_penalty
+        op_units = cpu.costs.op_unit_costs
+        mem_extra = cpu.costs.mem_operand_extra_units
+        miss_penalty = cpu.costs.icache_miss_penalty_units
         icache_access = cpu.icache.access
         regs = cpu.regs
         memory = cpu.process.memory
@@ -142,12 +154,12 @@ class ReferenceBackend:
         count_ops = cpu.count_opcodes
         shadow = cpu.shadow_stack if cpu.shadow_stack_enabled else None
         attribute = cpu.attribute_tags
-        tag_cycles = res.tag_cycles
+        tag_units = res.tag_cycle_units
         tag_counts = res.tag_counts
 
         remaining = max_steps
         executed = 0
-        cycles = 0.0
+        cycles = 0
         calls = 0
         rets = 0
         branches = 0
@@ -178,7 +190,7 @@ class ReferenceBackend:
                     cpu.trace_fn(cpu, rip, instr)
 
                 op = instr.op
-                cost = op_costs[op]
+                cost = op_units[op]
                 misses = icache_access(rip, instr.size)
                 if misses:
                     cost += misses * miss_penalty
@@ -188,7 +200,7 @@ class ReferenceBackend:
                 cycles += cost
                 if attribute:
                     tag = instr.tag if instr.tag is not None else UNTAGGED_TAG
-                    tag_cycles[tag] = tag_cycles.get(tag, 0.0) + cost
+                    tag_units[tag] = tag_units.get(tag, 0) + cost
                     tag_counts[tag] = tag_counts.get(tag, 0) + 1
                 if count_ops:
                     res.opcode_counts[op] = res.opcode_counts.get(op, 0) + 1
@@ -359,7 +371,10 @@ class ReferenceBackend:
                 cpu.rip = next_rip
         finally:
             res.instructions += executed
-            res.cycles += cycles
+            res.cycle_units += cycles
+            res.cycles = res.cycle_units / CYCLE_UNIT
+            if attribute and tag_units:
+                res.tag_cycles = {tag: units / CYCLE_UNIT for tag, units in tag_units.items()}
             res.calls += calls
             res.rets += rets
             res.branches += branches
@@ -388,8 +403,7 @@ class FastBackend:
 
     Per instruction the loop does: a memoized fetch-permission check, the
     budget tick, the i-cache charge over precomputed line spans, the cost
-    accounting (in the reference's float-addition order), and one handler
-    call.  Control flow follows pre-wired ``next_u``/``target`` links, so
+    accounting (in exact integer cycle units), and one handler call.  Control flow follows pre-wired ``next_u``/``target`` links, so
     the common case never consults the instruction index.
     """
 
@@ -437,14 +451,14 @@ class FastBackend:
         sets = icache._sets
         num_sets = icache.num_sets
         ways = icache.ways
-        miss_penalty = cpu.costs.icache_miss_penalty
-        mem_extra = cpu.costs.mem_operand_extra
+        miss_penalty = cpu.costs.icache_miss_penalty_units
+        mem_extra = cpu.costs.mem_operand_extra_units
         budget = cpu.instruction_budget - res.instructions
         trace = cpu.trace_fn
         count_ops = cpu.count_opcodes
         opcode_counts = res.opcode_counts
         attribute = cpu.attribute_tags
-        tag_cycles = res.tag_cycles
+        tag_units = res.tag_cycle_units
         tag_counts = res.tag_counts
 
         # Handler-visible counters live on the state; driver-local ones are
@@ -458,7 +472,7 @@ class FastBackend:
 
         remaining = max_steps
         executed = 0
-        cycles = 0.0
+        cycles = 0
         mem_ops = 0
         hits = 0
         cache_misses = 0
@@ -513,7 +527,7 @@ class FastBackend:
                         cycles += cost
                         if attribute:
                             tag = u.tag if u.tag is not None else UNTAGGED_TAG
-                            tag_cycles[tag] = tag_cycles.get(tag, 0.0) + cost
+                            tag_units[tag] = tag_units.get(tag, 0) + cost
                             tag_counts[tag] = tag_counts.get(tag, 0) + 1
                         if count_ops:
                             op = u.op
@@ -547,7 +561,10 @@ class FastBackend:
                         u = nu
         finally:
             res.instructions += executed
-            res.cycles += cycles
+            res.cycle_units += cycles
+            res.cycles = res.cycle_units / CYCLE_UNIT
+            if attribute and tag_units:
+                res.tag_cycles = {tag: units / CYCLE_UNIT for tag, units in tag_units.items()}
             res.calls += cpu._bk_calls
             res.rets += cpu._bk_rets
             res.branches += cpu._bk_branches
@@ -586,3 +603,10 @@ def get_backend(name: str) -> ExecutionBackend:
 def register_backend(backend: ExecutionBackend) -> None:
     """Register a custom backend under ``backend.name``."""
     BACKENDS[backend.name] = backend
+
+
+# The tier-2 block-compiling backend builds on FastBackend, so it lives in
+# its own module and registers here after the registry exists.
+from repro.machine.jit import JitBackend as _JitBackend  # noqa: E402
+
+register_backend(_JitBackend())

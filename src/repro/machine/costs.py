@@ -25,6 +25,21 @@ from typing import Dict
 
 from repro.machine.isa import Op
 
+#: Integer cycle units per modeled cycle.  All cycle accounting is done in
+#: exact integer units of 1/``CYCLE_UNIT`` cycles (0.01-cycle resolution):
+#: integer addition is associative, so per-block folded cost totals, sliced
+#: ``step()`` runs, and whole-program runs all accumulate bit-identical
+#: totals regardless of how the additions are grouped — the property the
+#: tier-2 code generator's per-block cost folding rests on.  Float
+#: ``ExecutionResult.cycles`` is derived from the unit total at flush time
+#: (one exact division), never accumulated in float.
+CYCLE_UNIT = 100
+
+
+def cycles_to_units(value: float) -> int:
+    """Quantize a cycle cost to integer units (0.01-cycle resolution)."""
+    return round(value * CYCLE_UNIT)
+
 
 def _default_op_costs() -> Dict[Op, float]:
     return {
@@ -94,6 +109,23 @@ class MachineCosts:
     icache_line: int = 64
     icache_miss_penalty: float = 12.0
 
+    @property
+    def op_unit_costs(self) -> Dict[Op, int]:
+        """``op_costs`` quantized to integer cycle units (cached)."""
+        table = self.__dict__.get("_op_unit_costs")
+        if table is None:
+            table = {op: cycles_to_units(v) for op, v in self.op_costs.items()}
+            self.__dict__["_op_unit_costs"] = table
+        return table
+
+    @property
+    def mem_operand_extra_units(self) -> int:
+        return cycles_to_units(self.mem_operand_extra)
+
+    @property
+    def icache_miss_penalty_units(self) -> int:
+        return cycles_to_units(self.icache_miss_penalty)
+
     def with_overrides(self, **op_overrides: float) -> "MachineCosts":
         """Return a copy with the named opcode costs replaced.
 
@@ -111,6 +143,40 @@ class MachineCosts:
             icache_line=self.icache_line,
             icache_miss_penalty=self.icache_miss_penalty,
         )
+
+
+def fold_cost(costs: "MachineCosts", op: Op, misses: int, has_mem: bool) -> int:
+    """The exact per-instruction cycle charge, in integer units.
+
+    Base cost plus ``misses * miss_penalty`` plus the memory-operand
+    extra.  Because cycle units are integers the sum is associative: the
+    tier-2 code generator folds any run of instructions into one literal
+    and still produces the exact unit total the interpreter tiers
+    accumulate one instruction at a time.
+    """
+    cost = costs.op_unit_costs[op]
+    if misses:
+        cost += misses * costs.icache_miss_penalty_units
+    if has_mem:
+        cost += costs.mem_operand_extra_units
+    return cost
+
+
+def costs_signature(costs: "MachineCosts") -> tuple:
+    """A hashable content identity for a cost model.
+
+    The compiled-code cache keys on this (not ``id``) so equal cost
+    models — however constructed — share generated code.
+    """
+    return (
+        costs.name,
+        tuple(sorted((op.name, value) for op, value in costs.op_costs.items())),
+        costs.mem_operand_extra,
+        costs.icache_size,
+        costs.icache_ways,
+        costs.icache_line,
+        costs.icache_miss_penalty,
+    )
 
 
 def _preset(name: str, *, miss_penalty: float, mem_extra: float, **ops: float) -> MachineCosts:

@@ -79,7 +79,15 @@ class ExecutionResult:
 
     exit_code: int = 0
     instructions: int = 0
+    #: Total cycles as a float, derived from ``cycle_units`` at every
+    #: flush point (one exact division — never accumulated in float, so
+    #: sliced ``step()`` runs and whole runs agree bit-for-bit).
     cycles: float = 0.0
+    #: Total cycles in exact integer units of 1/``CYCLE_UNIT`` cycles —
+    #: the canonical accumulator all backends add into.  Integer addition
+    #: is associative, which is what lets the tier-2 backend fold whole
+    #: blocks of charges into single literals.
+    cycle_units: int = 0
     calls: int = 0
     rets: int = 0
     branches: int = 0
@@ -99,9 +107,13 @@ class ExecutionResult:
     opcode_counts: Dict[Op, int] = field(default_factory=dict)
     #: Cycles attributed to instruction tags, filled when the CPU runs with
     #: ``attribute_tags=True``.  Untagged instructions land under
-    #: :data:`UNTAGGED_TAG`, so the buckets sum to ``cycles`` (up to float
-    #: re-association) and ``tag_counts`` sums to ``instructions`` exactly.
+    #: :data:`UNTAGGED_TAG`.  Derived from ``tag_cycle_units`` at flush
+    #: time; the unit buckets sum to ``cycle_units`` exactly and
+    #: ``tag_counts`` sums to ``instructions`` exactly.
     tag_cycles: Dict[str, float] = field(default_factory=dict)
+    #: Per-tag cycle totals in integer units (canonical accumulator
+    #: behind ``tag_cycles``).
+    tag_cycle_units: Dict[str, int] = field(default_factory=dict)
     #: Per-tag executed-instruction counts (same bucketing as ``tag_cycles``).
     tag_counts: Dict[str, int] = field(default_factory=dict)
 

@@ -21,6 +21,14 @@ The wrapped target can be a full :class:`~repro.machine.cpu.CPU` (its
 bound backend is used) or a bare :class:`MachineState` plus a backend
 name — the tooling used by the race-window ablation and handy for
 diagnosing diversified binaries.
+
+Stepping composes with the ``jit`` backend through its deopt contract: a
+one-instruction step slice can never satisfy a compiled block prolog's
+folded instruction allowance, so stepped segments run interpreter-exact
+and a later ``cont`` re-enters compiled code at the next block head —
+with identical counters either way (``tests/test_jit.py`` holds a
+breakpointed, stepped jit session byte-identical to ``fast``, including
+through BTRA-displaced returns).
 """
 
 from __future__ import annotations

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import List
 
-__all__ = ["ICache", "line_span"]
+__all__ = ["ICache", "line_span", "block_line_plan"]
 
 
 def line_span(address: int, size: int, line_size: int) -> range:
@@ -25,6 +25,30 @@ def line_span(address: int, size: int, line_size: int) -> range:
     first = address // line_size
     last = (address + max(size, 1) - 1) // line_size
     return range(first, last + 1)
+
+
+def block_line_plan(spans, line_size: int):
+    """Fold a basic block's fetch stream into a per-instruction probe plan.
+
+    ``spans`` is the block's (address, size) sequence in execution order;
+    the result is one list per instruction of ``(line, must_probe)``
+    pairs.  ``must_probe=False`` marks a *guaranteed hit*: the line was
+    the immediately preceding probe in the same straight-line block, so
+    it is resident and already most-recently-used — the access can be
+    accounted (one hit, zero misses) without touching the LRU structure.
+    This folding is sound only inside a basic block executed without
+    interruption, which is exactly the tier-2 compiled-code contract;
+    any deopt re-enters the interpreter, which probes normally.
+    """
+    plan = []
+    last_line = None
+    for address, size in spans:
+        probes = []
+        for line in line_span(address, size, line_size):
+            probes.append((line, line != last_line))
+            last_line = line
+        plan.append(probes)
+    return plan
 
 
 class ICache:

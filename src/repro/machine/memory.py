@@ -19,6 +19,7 @@ Addresses are 64-bit; words are little-endian 8-byte integers.
 from __future__ import annotations
 
 import enum
+import sys
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import GuardPageFault, MemoryFault
@@ -26,6 +27,10 @@ from repro.errors import GuardPageFault, MemoryFault
 PAGE_SIZE = 4096
 PAGE_MASK = PAGE_SIZE - 1
 WORD_BYTES = 8
+
+#: Largest in-page offset a whole word fits at.
+_WORD_SPAN = PAGE_SIZE - WORD_BYTES
+_WORD_MASK = (1 << 64) - 1
 
 
 class Perm(enum.IntFlag):
@@ -56,14 +61,43 @@ def page_range(address: int, size: int) -> Iterator[int]:
 
 
 class _Page:
-    """One mapped page: backing bytes plus its current permissions."""
+    """One mapped page: backing bytes plus its current permissions.
 
-    __slots__ = ("data", "perm", "guard")
+    ``bits`` mirrors ``perm`` as a plain ``int`` so the single-page access
+    fast paths can test permissions with an integer AND instead of the much
+    slower ``enum.IntFlag.__and__`` — on interpreter-bound runs the enum op
+    alone is a measurable fraction of every memory access.
+
+    ``data`` is demand-zero: ``None`` until the first byte access
+    materializes the backing ``bytearray``.  Mapping a multi-megabyte heap
+    arena allocates page *descriptors* only, so load time scales with the
+    bytes actually written, not the address space reserved — and
+    :meth:`Memory.clone` copies only materialized pages.
+
+    ``mv`` is a 64-bit view of ``data`` (``memoryview.cast("Q")``), created
+    at materialization on little-endian hosts.  Aligned word accesses — the
+    overwhelmingly common case: stack operations and compiler-emitted loads
+    and stores are all 8-byte aligned — become a single indexed read or
+    write instead of a slice plus ``int.from_bytes``/``to_bytes`` round
+    trip.  The view shares the page's buffer, so byte-level writes and bit
+    corruption stay coherent with it; pages are never resized, so exporting
+    the buffer is safe.
+    """
+
+    __slots__ = ("data", "perm", "guard", "bits", "mv")
 
     def __init__(self, perm: Perm, guard: bool = False):
-        self.data = bytearray(PAGE_SIZE)
+        self.data = None
+        self.mv = None
         self.perm = perm
         self.guard = guard
+        self.bits = int(perm)
+
+
+#: ``memoryview.cast("Q")`` reads native byte order; guest words are
+#: little-endian, so the word view only exists on little-endian hosts
+#: (big-endian falls back to the byte-slice path — correct, just slower).
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 class Memory:
@@ -81,11 +115,59 @@ class Memory:
         # execution backends may memoize per-address fetch-permission checks
         # and revalidate only when the permission landscape actually moved.
         self.perm_epoch = 0
-        # Pages actually touched by any access — the resident set.  Mapping
-        # a region does not make it resident (demand paging), which is what
-        # lets the maxrss experiment of Section 6.2.5 distinguish BTDP guard
-        # pages (touched by the allocator) from merely reserved space.
+        # Pages fetched from without materializing data (execute-only text
+        # never allocates backing bytes).  Everything else materializes the
+        # page, bumping ``_resident``; residency is ``materialized ∪
+        # _touched`` — see :meth:`resident_bytes`.  Mapping a region does
+        # not make it resident (demand paging), which is what lets the
+        # maxrss experiment of Section 6.2.5 distinguish BTDP guard pages
+        # (touched by the allocator) from merely reserved space.
         self._touched: set = set()
+        self._resident = 0
+        # Aligned-word dispatch tables for the jit backend's inlined memory
+        # fast path: page base -> 64-bit word view, one table per required
+        # permission.  A base is present iff the page is materialized AND
+        # currently grants the permission, so a hit licenses the access
+        # outright; every miss (unmapped, unmaterialized, protected, guard,
+        # big-endian host) falls back to :meth:`read_word` /
+        # :meth:`write_word`, which reproduce the exact fault.  Maintained
+        # by materialization, :meth:`protect`, :meth:`unmap_region`, and
+        # :meth:`clone`; the dict objects themselves are never replaced, so
+        # bound ``.get`` references stay valid for the memory's lifetime.
+        self._rmv: Dict[int, object] = {}
+        self._wmv: Dict[int, object] = {}
+
+    def _materialize(self, base: int, page: _Page) -> bytearray:
+        """Allocate a page's demand-zero backing store (and word views)."""
+        data = page.data = bytearray(PAGE_SIZE)
+        if _LITTLE_ENDIAN:
+            mv = page.mv = memoryview(data).cast("Q")
+            bits = page.bits
+            if bits & 1:
+                self._rmv[base] = mv
+            if bits & 2:
+                self._wmv[base] = mv
+        # A fetch-touched page moves from the ``_touched`` tally to the
+        # materialized tally; the discard keeps the sum counting it once.
+        self._resident += 1
+        self._touched.discard(base)
+        return data
+
+    def _refresh_views(self, base: int, page: _Page) -> None:
+        """Re-derive the word-map entries for one page after a permission
+        change (or removal on unmap)."""
+        mv = page.mv
+        if mv is None:
+            return
+        bits = page.bits
+        if bits & 1:
+            self._rmv[base] = mv
+        else:
+            self._rmv.pop(base, None)
+        if bits & 2:
+            self._wmv[base] = mv
+        else:
+            self._wmv.pop(base, None)
 
     # -- mapping -----------------------------------------------------------
 
@@ -100,7 +182,11 @@ class Memory:
     def unmap_region(self, address: int, size: int) -> None:
         self.perm_epoch += 1
         for base in page_range(address, size):
-            self._pages.pop(base, None)
+            page = self._pages.pop(base, None)
+            if page is not None and page.data is not None:
+                self._resident -= 1
+                self._rmv.pop(base, None)
+                self._wmv.pop(base, None)
 
     def protect(self, address: int, size: int, perm: Perm, *, guard: bool = False) -> None:
         """Change permissions of mapped pages (mprotect analogue).
@@ -114,7 +200,9 @@ class Memory:
             if page is None:
                 raise MemoryFault("write", base, "unmapped")
             page.perm = perm
+            page.bits = int(perm)
             page.guard = guard
+            self._refresh_views(base, page)
 
     def clone(self) -> "Memory":
         """Deep-copy the address space: page contents, permissions, guard
@@ -127,15 +215,33 @@ class Memory:
         the loader and the runtime constructors."""
         clone = Memory.__new__(Memory)
         pages: Dict[int, _Page] = {}
+        rmv: Dict[int, object] = {}
+        wmv: Dict[int, object] = {}
         for base, page in self._pages.items():
             copy = _Page.__new__(_Page)
-            copy.data = bytearray(page.data)
+            data = page.data
+            if data is None:
+                copy.data = None
+                copy.mv = None
+            else:
+                copy.data = data = bytearray(data)
+                mv = copy.mv = memoryview(data).cast("Q") if _LITTLE_ENDIAN else None
+                if mv is not None:
+                    bits = page.bits
+                    if bits & 1:
+                        rmv[base] = mv
+                    if bits & 2:
+                        wmv[base] = mv
             copy.perm = page.perm
             copy.guard = page.guard
+            copy.bits = page.bits
             pages[base] = copy
         clone._pages = pages
         clone.perm_epoch = self.perm_epoch
         clone._touched = set(self._touched)
+        clone._resident = self._resident
+        clone._rmv = rmv
+        clone._wmv = wmv
         return clone
 
     def is_mapped(self, address: int) -> bool:
@@ -154,8 +260,16 @@ class Memory:
         return sorted((base, page.perm) for base, page in self._pages.items())
 
     def resident_bytes(self) -> int:
-        """Total bytes of *touched* pages — the maxrss analogue (Section 6.2.5)."""
-        return len(self._touched) * PAGE_SIZE
+        """Total bytes of *touched* pages — the maxrss analogue (Section 6.2.5).
+
+        A page is resident when its backing store was materialized (any
+        read or write does this) or when it was fetched from
+        (execute-only text never materializes data).  Both tallies are
+        maintained incrementally — a counter bumped at materialization
+        plus the fetch-only ``_touched`` set — so sampling residency is
+        O(1) and the per-access fast paths carry no extra bookkeeping.
+        """
+        return (self._resident + len(self._touched)) * PAGE_SIZE
 
     # -- access checks -----------------------------------------------------
 
@@ -170,27 +284,101 @@ class Memory:
                 raise MemoryFault(kind, address, "protection")
 
     # -- data access -------------------------------------------------------
+    #
+    # Every accessor has a single-page fast path: when the access lies
+    # inside one mapped page that already grants the needed permission,
+    # service it with one dict probe and an integer AND.  Anything else —
+    # page-spanning, unmapped, insufficient permission, guard pages — falls
+    # through to the original ``_check`` + copy path, so every fault is
+    # raised from exactly the same place with exactly the same message.
+    # Materializing the backing store marks the page resident (see
+    # :meth:`resident_bytes`), so the fast paths carry no ``_touched``
+    # bookkeeping.  Aligned word accesses go through the page's 64-bit
+    # view — one indexed operation instead of a slice and a byte-order
+    # conversion.
 
     def read(self, address: int, size: int) -> bytes:
         """Read ``size`` bytes; requires ``Perm.R`` on every touched page."""
+        offset = address & PAGE_MASK
+        if 0 < size <= PAGE_SIZE - offset:
+            base = address - offset
+            page = self._pages.get(base)
+            if page is not None and page.bits & 1:  # Perm.R
+                data = page.data
+                if data is None:
+                    data = self._materialize(base, page)
+                return bytes(data[offset : offset + size])
         self._check("read", Perm.R, address, size)
         return self._copy_out(address, size)
 
     def write(self, address: int, data: bytes) -> None:
         """Write bytes; requires ``Perm.W`` on every touched page."""
-        self._check("write", Perm.W, address, len(data))
+        size = len(data)
+        offset = address & PAGE_MASK
+        if 0 < size <= PAGE_SIZE - offset:
+            base = address - offset
+            page = self._pages.get(base)
+            if page is not None and page.bits & 2:  # Perm.W
+                backing = page.data
+                if backing is None:
+                    backing = self._materialize(base, page)
+                backing[offset : offset + size] = data
+                return
+        self._check("write", Perm.W, address, size)
         self._copy_in(address, data)
 
     def read_word(self, address: int) -> int:
+        offset = address & PAGE_MASK
+        if offset <= _WORD_SPAN:
+            base = address - offset
+            page = self._pages.get(base)
+            if page is not None and page.bits & 1:  # Perm.R
+                data = page.data
+                if data is None:
+                    data = self._materialize(base, page)
+                if not offset & 7:
+                    mv = page.mv
+                    if mv is not None:
+                        return mv[offset >> 3]
+                return int.from_bytes(data[offset : offset + WORD_BYTES], "little")
         return int.from_bytes(self.read(address, WORD_BYTES), "little")
 
     def write_word(self, address: int, value: int) -> None:
-        self.write(address, (value & (2**64 - 1)).to_bytes(WORD_BYTES, "little"))
+        offset = address & PAGE_MASK
+        if offset <= _WORD_SPAN:
+            base = address - offset
+            page = self._pages.get(base)
+            if page is not None and page.bits & 2:  # Perm.W
+                data = page.data
+                if data is None:
+                    data = self._materialize(base, page)
+                if not offset & 7:
+                    mv = page.mv
+                    if mv is not None:
+                        mv[offset >> 3] = value & _WORD_MASK
+                        return
+                data[offset : offset + WORD_BYTES] = (value & _WORD_MASK).to_bytes(
+                    WORD_BYTES, "little"
+                )
+                return
+        self.write(address, (value & _WORD_MASK).to_bytes(WORD_BYTES, "little"))
 
     def fetch_check(self, address: int, size: int = 1) -> None:
         """Verify that instruction fetch from ``address`` is allowed."""
+        offset = address & PAGE_MASK
+        if 0 < size <= PAGE_SIZE - offset:
+            base = address - offset
+            page = self._pages.get(base)
+            if page is not None and page.bits & 4:  # Perm.X
+                # Materialized pages are already in the resident tally.
+                if page.data is None:
+                    self._touched.add(base)
+                return
         self._check("fetch", Perm.X, address, size)
-        self._touched.add(address & ~PAGE_MASK)
+        base = address & ~PAGE_MASK
+        page = self._pages.get(base)
+        if page is not None and page.data is None:
+            self._touched.add(base)
 
     # -- privileged access (loader / runtime, bypasses permissions) ---------
 
@@ -225,10 +413,14 @@ class Memory:
         requires the page to be mapped — flipping unmapped addresses is a
         plan bug, not a simulated fault.
         """
-        page = self._pages.get(page_base(address))
+        base = page_base(address)
+        page = self._pages.get(base)
         if page is None:
             raise MemoryFault("write", address, "unmapped")
-        page.data[address & PAGE_MASK] ^= 1 << (bit & 7)
+        data = page.data
+        if data is None:
+            data = self._materialize(base, page)
+        data[address & PAGE_MASK] ^= 1 << (bit & 7)
 
     # -- internals ----------------------------------------------------------
 
@@ -240,8 +432,11 @@ class Memory:
             base = page_base(addr)
             offset = addr - base
             take = min(PAGE_SIZE - offset, size - pos)
-            out[pos : pos + take] = self._pages[base].data[offset : offset + take]
-            self._touched.add(base)
+            page = self._pages[base]
+            backing = page.data
+            if backing is None:
+                backing = self._materialize(base, page)
+            out[pos : pos + take] = backing[offset : offset + take]
             pos += take
         return bytes(out)
 
@@ -253,6 +448,9 @@ class Memory:
             base = page_base(addr)
             offset = addr - base
             take = min(PAGE_SIZE - offset, size - pos)
-            self._pages[base].data[offset : offset + take] = data[pos : pos + take]
-            self._touched.add(base)
+            page = self._pages[base]
+            backing = page.data
+            if backing is None:
+                backing = self._materialize(base, page)
+            backing[offset : offset + take] = data[pos : pos + take]
             pos += take

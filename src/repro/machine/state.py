@@ -30,8 +30,12 @@ into a detached copy; :meth:`restore` copies a snapshot back in place.
 The process handle (and with it memory) is shared, not copied: memory is
 owned by the process, and write-effects are not part of the
 architectural snapshot.  Within that contract, execution resumed from
-any point is byte-identical to uninterrupted execution on both backends
-(``tests/test_state.py`` proves it property-based).
+any point is byte-identical to uninterrupted execution on every
+registered backend (``tests/test_state.py`` proves it property-based).
+The ``jit`` backend honours this by construction: a resume address that
+lands mid-block — a debugger hand-off, a BTRA-displaced return — takes
+its deopt path onto the interpreter for exactly the block residue, so
+stepping a state and running it produce the same trajectory.
 """
 
 from __future__ import annotations
@@ -93,6 +97,9 @@ class MachineState:
         self._cmp = 0  # signed result of the last CMP/TEST
         self._halted = False
         self._exit_code = 0
+        #: Exactly one driver may step this state (the debugger claims it);
+        #: passive trace hooks chain on ``trace_fn`` instead.
+        self.debugger_attached = False
 
     # -- register access ----------------------------------------------------
 

@@ -87,12 +87,22 @@ class MicroOp:
 
 
 class BoundProgram:
-    """A fully bound micro-op table for one (process, cost model) pair."""
+    """A fully bound micro-op table for one (process, cost model) pair.
 
-    __slots__ = ("index", "entry_count")
+    ``index`` maps absolute addresses to micro-ops; ``order`` lists the
+    same micro-ops in text order.  The ordered view is the lowering IR
+    the upper tiers consume: basic-block recovery
+    (:mod:`repro.machine.blocks`) walks ``order`` splitting at
+    :data:`TERMINATOR_OPS`, and the block boundaries it derives are
+    *stable* — they depend only on addresses, sizes, and direct branch
+    targets, all of which are fixed at bind time.
+    """
 
-    def __init__(self, index: Dict[int, MicroOp]):
+    __slots__ = ("index", "order", "entry_count")
+
+    def __init__(self, index: Dict[int, MicroOp], order: Optional[List[MicroOp]] = None):
         self.index = index
+        self.order = list(index.values()) if order is None else order
         self.entry_count = len(index)
 
 
@@ -688,6 +698,29 @@ _DIRECT_BRANCH_OPS = frozenset(
     {Op.JMP, Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE, Op.CALL}
 )
 
+#: Opcodes that end a basic block: control transfers (taken or not),
+#: halts, traps, and runtime-service calls (whose host code may remap
+#: pages, invalidating fetch memoization for whatever follows).  The
+#: block-recovery tier (:mod:`repro.machine.blocks`) splits on these and
+#: on every direct branch target, so a block is a maximal straight-line
+#: run — entered only at its head, left only at its last micro-op.
+TERMINATOR_OPS = frozenset(
+    {
+        Op.JMP,
+        Op.JE,
+        Op.JNE,
+        Op.JL,
+        Op.JLE,
+        Op.JG,
+        Op.JGE,
+        Op.CALL,
+        Op.RET,
+        Op.CALLRT,
+        Op.EXIT,
+        Op.TRAP,
+    }
+)
+
 
 def _kind(operand) -> str:
     """Classify an operand for handler dispatch (layout-independent)."""
@@ -776,7 +809,7 @@ def _bind(
     costs,
     memory,
 ) -> BoundProgram:
-    op_costs = costs.op_costs
+    op_units = costs.op_unit_costs
     line_size = costs.icache_line
     index: Dict[int, MicroOp] = {}
     uops: List[MicroOp] = []
@@ -797,7 +830,7 @@ def _bind(
         u.op = instr.op
         u.tag = instr.tag
         u.instr = instr
-        u.base_cost = op_costs[instr.op]
+        u.base_cost = op_units[instr.op]
         u.has_mem = isinstance(a, Mem) or isinstance(b, Mem)
         u.lines = tuple(line_span(addr, instr.size, line_size))
         u.handler = handler
@@ -844,7 +877,7 @@ def _bind(
             if isinstance(a, Imm) and a.symbol is None:
                 tgt = a.value & MASK64
                 u.target = index.get(tgt, tgt)
-    return BoundProgram(index)
+    return BoundProgram(index, uops)
 
 
 def clone_bound_program(program: BoundProgram, memory) -> BoundProgram:
@@ -898,7 +931,7 @@ def clone_bound_program(program: BoundProgram, memory) -> BoundProgram:
             c.target = index[target.rip]
         else:
             c.target = target
-    return BoundProgram(index)
+    return BoundProgram(index, [index[u.rip] for u in program.order])
 
 
 def get_bound_program(process, costs) -> BoundProgram:

@@ -104,6 +104,11 @@ class BenchReport:
     #: N-variant lockstep leg (``--lockstep N``): amortized-decode cost of
     #: running N diversified-ASLR variants vs one (empty when not run).
     lockstep: Dict[str, object] = field(default_factory=dict)
+    #: Progressive-lowering statistics for the run (``jit`` backend):
+    #: blocks compiled, superinstructions fused, deopt count, code-cache
+    #: hits — the delta of :data:`repro.machine.jit.JIT_STATS` across the
+    #: grid.  Empty for backends that never lower.
+    tiers: Dict[str, int] = field(default_factory=dict)
 
     def cell(self, workload: str, config: str) -> BenchCell:
         for cell in self.cells:
@@ -127,6 +132,8 @@ class BenchReport:
         }
         if self.lockstep:
             data["lockstep"] = dict(self.lockstep)
+        if self.tiers:
+            data["tiers"] = dict(self.tiers)
         return json.dumps(data, sort_keys=True, indent=2)
 
     @classmethod
@@ -329,6 +336,9 @@ def run_bench(
     """Run the bench grid; returns the report (caller writes the artifact)."""
     if workloads is None:
         workloads = list(QUICK_WORKLOADS if quick else SPEC_BENCHMARKS)
+    from repro.machine.jit import jit_stats_snapshot
+
+    stats_before = jit_stats_snapshot()
     owns_engine = engine is None
     if owns_engine:
         engine = ExperimentEngine(jobs=jobs, backend=backend)
@@ -367,12 +377,22 @@ def run_bench(
                     )
                 )
         summary = engine.summary()
+        # Tier-lowering delta across the grid (non-zero only when the
+        # jit backend actually lowered something; parallel workers lower
+        # in their own processes, so with jobs > 1 this reflects the
+        # coordinator only and the artifact records what it saw).
+        stats_after = jit_stats_snapshot()
+        tiers = {
+            key: stats_after[key] - stats_before.get(key, 0)
+            for key in stats_after
+        }
         return BenchReport(
             backend=backend,
             machine=machine,
             quick=quick,
             jobs=engine.jobs,
             cells=cells,
+            tiers=tiers if any(tiers.values()) else {},
             engine={
                 "executed": summary.executed,
                 "compiles": summary.compiles,

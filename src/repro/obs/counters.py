@@ -2,12 +2,16 @@
 
 :class:`PerfCounters` is the observability view over one
 :class:`~repro.machine.cpu.ExecutionResult`: every architectural event
-the simulated machine counts, in one flat, JSON-stable structure.  Both
-execution backends fill the underlying counters **byte-identically** —
-same integers, same float ``cycles`` (identical addition order), same
-per-tag buckets — so a ``PerfCounters`` is backend-invariant by
-construction and the differential tests in ``tests/test_backends.py``
-compare them wholesale.
+the simulated machine counts, in one flat, JSON-stable structure.  Every
+execution backend — the ``reference`` loop, the ``fast`` micro-op
+pipeline, and the block-compiling ``jit`` — fills the underlying
+counters **byte-identically**: same integers, same float ``cycles`` (one
+exact division of the shared integer cycle units), same per-tag buckets.
+A ``PerfCounters`` is therefore backend-invariant by construction and
+the differential tests in ``tests/test_backends.py`` compare them
+wholesale.  How a backend *got* the numbers (blocks compiled, deopts
+taken) is host-side observability, not machine state — the bench
+artifact's ``tiers`` section records that instead.
 
 Counter definitions (also in DESIGN.md §3.4):
 

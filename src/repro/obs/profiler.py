@@ -1,14 +1,16 @@
 """Hot-path profiler: per-RIP / per-function cycle attribution.
 
 :class:`CycleProfiler` rides the CPU's per-instruction trace hook
-(``cpu.trace_fn``), which both execution backends invoke *before* each
+(``cpu.trace_fn``), which every execution backend invokes *before* each
 instruction with identical streams.  It recomputes each instruction's
 cycle cost exactly as the backends do — per-opcode base cost, i-cache
 miss penalties replayed through a private shadow :class:`ICache` fed the
-same access sequence, and the memory-operand surcharge — so the profile
-is byte-identical across backends and its sequential total equals
-``ExecutionResult.cycles`` exactly (same values added in the same
-order).
+same access sequence, and the memory-operand surcharge — accumulated in
+the same exact integer cycle units the backends fold
+(:data:`repro.machine.costs.CYCLE_UNIT`), so the profile is
+byte-identical across backends and its total equals
+``ExecutionResult.cycles`` exactly: both sides sum the same integers and
+divide once.
 
 Call stacks are walked from control flow, not from stack memory: a
 ``CALL`` opens a frame, a ``RET`` closes one.  That is what makes the
@@ -39,6 +41,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
+from repro.machine.costs import CYCLE_UNIT
 from repro.machine.icache import ICache
 from repro.machine.isa import Mem, Op
 
@@ -74,23 +77,23 @@ class CycleProfiler:
         self.variant = variant
         self._prefix = f"{variant};" if variant else ""
         costs = cpu.costs
-        self._op_costs = costs.op_costs
-        self._mem_extra = costs.mem_operand_extra
-        self._miss_penalty = costs.icache_miss_penalty
+        self._op_units = costs.op_unit_costs
+        self._mem_extra_units = costs.mem_operand_extra_units
+        self._miss_penalty_units = costs.icache_miss_penalty_units
         # Shadow replay: fed the same access stream as the real i-cache
         # (the trace hook fires before the backend's own access), this
         # cache reproduces each instruction's hit/miss outcome exactly.
         self._shadow = ICache(costs.icache_size, costs.icache_line, costs.icache_ways)
         self._starts, self._names = self._symbol_table(cpu.process)
-        #: Cycles / executed-instruction counts keyed by instruction address.
-        self.rip_cycles: Dict[int, float] = {}
+        #: Cycle units / executed-instruction counts keyed by address.
+        self.rip_cycle_units: Dict[int, int] = {}
         self.rip_counts: Dict[int, int] = {}
-        #: Cycles keyed by enclosing function symbol.
-        self.func_cycles: Dict[str, float] = {}
-        #: Cycles keyed by semicolon-joined call stack (folded-stack form).
-        self.stack_cycles: Dict[str, float] = {}
-        #: Sequential total — equals ``ExecutionResult.cycles`` exactly.
-        self.total_cycles = 0.0
+        #: Cycle units keyed by enclosing function symbol.
+        self.func_cycle_units: Dict[str, int] = {}
+        #: Cycle units keyed by semicolon-joined call stack (folded form).
+        self.stack_cycle_units: Dict[str, int] = {}
+        #: Exact integer-unit total — ``CYCLE_UNIT`` units per cycle.
+        self.total_cycle_units = 0
         self.instructions = 0
         self._stack: List[str] = []
         self._pending: Optional[str] = None
@@ -122,18 +125,37 @@ class CycleProfiler:
         if self.cpu.trace_fn is self._hook:
             self.cpu.trace_fn = self._chained
 
+    # -- derived float views (one exact division per value) ------------------
+
+    @property
+    def total_cycles(self) -> float:
+        """Total cycles — equals ``ExecutionResult.cycles`` exactly."""
+        return self.total_cycle_units / CYCLE_UNIT
+
+    @property
+    def rip_cycles(self) -> Dict[int, float]:
+        return {rip: units / CYCLE_UNIT for rip, units in self.rip_cycle_units.items()}
+
+    @property
+    def func_cycles(self) -> Dict[str, float]:
+        return {fn: units / CYCLE_UNIT for fn, units in self.func_cycle_units.items()}
+
+    @property
+    def stack_cycles(self) -> Dict[str, float]:
+        return {key: units / CYCLE_UNIT for key, units in self.stack_cycle_units.items()}
+
     # -- the hook -----------------------------------------------------------
 
     def _trace(self, cpu, rip, instr) -> None:
         if self._chained is not None:
             self._chained(cpu, rip, instr)
         op = instr.op
-        cost = self._op_costs[op]
+        cost = self._op_units[op]
         misses = self._shadow.access(rip, instr.size)
         if misses:
-            cost += misses * self._miss_penalty
+            cost += misses * self._miss_penalty_units
         if isinstance(instr.a, Mem) or isinstance(instr.b, Mem):
-            cost += self._mem_extra
+            cost += self._mem_extra_units
 
         fn = self._function_at(rip)
         stack = self._stack
@@ -162,12 +184,15 @@ class CycleProfiler:
         )
 
         self.instructions += 1
-        self.total_cycles += cost
-        self.rip_cycles[rip] = self.rip_cycles.get(rip, 0.0) + cost
+        self.total_cycle_units += cost
+        units = self.rip_cycle_units
+        units[rip] = units.get(rip, 0) + cost
         self.rip_counts[rip] = self.rip_counts.get(rip, 0) + 1
-        self.func_cycles[fn] = self.func_cycles.get(fn, 0.0) + cost
+        units = self.func_cycle_units
+        units[fn] = units.get(fn, 0) + cost
         key = self._prefix + ";".join(stack)
-        self.stack_cycles[key] = self.stack_cycles.get(key, 0.0) + cost
+        units = self.stack_cycle_units
+        units[key] = units.get(key, 0) + cost
 
     # -- output -------------------------------------------------------------
 
@@ -179,20 +204,21 @@ class CycleProfiler:
         this string byte-for-byte across backends.
         """
         return "\n".join(
-            f"{key} {cycles:.3f}"
-            for key, cycles in sorted(self.stack_cycles.items())
+            f"{key} {units / CYCLE_UNIT:.3f}"
+            for key, units in sorted(self.stack_cycle_units.items())
         )
 
     def per_function(self) -> List[Tuple[str, float]]:
         """(function, cycles) hottest-first; ties broken by name."""
-        return sorted(self.func_cycles.items(), key=lambda kv: (-kv[1], kv[0]))
+        ranked = sorted(self.func_cycle_units.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [(fn, units / CYCLE_UNIT) for fn, units in ranked]
 
     def hottest_rips(self, count: int = 10) -> List[Tuple[int, float, int]]:
         """(rip, cycles, executions) for the ``count`` hottest addresses."""
         ranked = sorted(
-            self.rip_cycles.items(), key=lambda kv: (-kv[1], kv[0])
+            self.rip_cycle_units.items(), key=lambda kv: (-kv[1], kv[0])
         )[:count]
-        return [(rip, cycles, self.rip_counts[rip]) for rip, cycles in ranked]
+        return [(rip, units / CYCLE_UNIT, self.rip_counts[rip]) for rip, units in ranked]
 
     def report(self, top: int = 15) -> str:
         """Human-readable profile: per-function table + hottest addresses."""

@@ -49,7 +49,11 @@ DATA = 0x5555_0010_0000
 HEAP = 0x6200_0000_0000
 STACK = 0x7FFC_0000_0000
 
-BACKENDS = ("reference", "fast")
+# Every registered backend participates in the differential suite — a
+# backend added to the registry is automatically held to the reference
+# contract here (and in the debugger/lockstep/state parity tests, which
+# import this tuple).
+BACKENDS = tuple(available_backends())
 
 
 def assemble(instrs, *, execute_only=True):

@@ -1,0 +1,233 @@
+"""Tests for the tier-2 jit backend and the progressive-lowering pipeline.
+
+The differential suite (:mod:`tests.test_backends`) already holds ``jit``
+to byte-identical results against ``reference`` and ``fast`` across
+seeds and BTRA modes — every backend in the registry participates.  This
+module covers what is specific to lowering: the block CFG recovery and
+fusion tiers, monotone i-cache detection, the compiled-code cache shared
+across loads of one image, and the deopt contract under a debugger —
+breakpoints and single-stepping mid-run must observe the exact same
+machine trajectory on ``jit`` as on ``fast``, including through
+BTRA-displaced returns.
+"""
+
+import dataclasses
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.compiler import compile_module
+from repro.core.config import R2CConfig
+from repro.machine.blocks import recover_blocks
+from repro.machine.costs import get_costs
+from repro.machine.cpu import CPU
+from repro.machine.debugger import Debugger
+from repro.machine.isa import Imm, Instruction, Op, Reg
+from repro.machine.jit import (
+    _text_fits_icache,
+    jit_stats_snapshot,
+)
+from repro.machine.loader import load_binary
+from repro.machine.uops import get_bound_program
+from repro.toolchain.builder import IRBuilder
+
+from tests.test_backends import assemble
+
+I = Instruction
+
+
+def loop_module():
+    """A module whose hot loop re-enters its block heads many times —
+    enough to cross the jit promotion threshold within one run."""
+    ir = IRBuilder("jitloop")
+    double = ir.function("double", params=["x"])
+    double.ret(double.mul(double.param("x"), 2))
+    main = ir.function("main")
+    main.local("i")
+    main.local("acc")
+    main.store_local("i", 0)
+    main.store_local("acc", 0)
+    main.br("loop")
+    main.new_block("loop")
+    i = main.load_local("i")
+    cond = main.cmp("lt", i, 50)
+    main.cbr(cond, "body", "done")
+    main.new_block("body")
+    doubled = main.call("double", [main.load_local("i")])
+    main.store_local("acc", main.add(main.load_local("acc"), doubled))
+    main.store_local("i", main.add(main.load_local("i"), 1))
+    main.br("loop")
+    main.new_block("done")
+    main.out(main.load_local("acc"))
+    main.ret(0)
+    return ir.finish()
+
+
+# ---------------------------------------------------------------------------
+# Debugger-triggered deopt: breakpoints and single steps mid-run must not
+# perturb anything, through BTRA-displaced returns.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("btra_mode", ["avx", "push"])
+def test_debugger_breakpoint_and_steps_identical_on_jit(btra_mode):
+    """Break inside a callee, single-step through its (BTRA-displaced)
+    return, continue to exit: ``jit`` == ``fast`` at every observation."""
+    binary = compile_module(
+        loop_module(), R2CConfig.full(seed=7, btra_mode=btra_mode)
+    )
+    observed = {}
+    for backend in ("fast", "jit"):
+        process = load_binary(binary, seed=1)
+        cpu = CPU(process, get_costs("epyc-rome"), backend=backend)
+        debugger = Debugger(cpu)
+        debugger.break_at("double")
+        stream = []
+        stops = 0
+        # Stop at the callee a few times; single-step each stop through
+        # the RET (BTRA displaces the on-stack return address — the
+        # executed stream must come back to the call site regardless).
+        while stops < 3 and not debugger.cont():
+            stops += 1
+            stream.append(("stop", cpu.rip, list(cpu.regs)))
+            for _ in range(25):
+                if debugger.step(1):
+                    break
+                stream.append(cpu.rip)
+        finished = debugger.finished or debugger.cont()
+        while not finished:
+            finished = debugger.cont()
+        observed[backend] = {
+            "stops": stops,
+            "stream": stream,
+            "result": dataclasses.asdict(debugger.result),
+            "output": list(process.output),
+            "rip": cpu.rip,
+        }
+    assert observed["jit"] == observed["fast"]
+
+
+def test_debugged_run_equals_unbroken_run_on_jit():
+    """The accumulated result of a breakpointed jit session equals an
+    uninterrupted jit run (and the fast run) exactly."""
+    binary = compile_module(loop_module(), R2CConfig.full(seed=8))
+
+    def plain(backend):
+        process = load_binary(binary, seed=1)
+        cpu = CPU(process, get_costs("epyc-rome"), backend=backend)
+        return dataclasses.asdict(cpu.run())
+
+    process = load_binary(binary, seed=1)
+    cpu = CPU(process, get_costs("epyc-rome"), backend="jit")
+    debugger = Debugger(cpu)
+    debugger.break_at("double")
+    while not debugger.cont():
+        debugger.step(3)
+    debugged = dataclasses.asdict(debugger.result)
+
+    assert debugged == plain("jit")
+    assert debugged == plain("fast")
+
+
+def test_single_stepping_drives_the_deopt_path():
+    """max_steps=1 slices can never satisfy a block prolog's folded
+    allowance, so a stepped jit session must route through the deopt
+    escape once blocks are promoted — and still finish correctly."""
+    binary = compile_module(loop_module(), R2CConfig.full(seed=9))
+    process = load_binary(binary, seed=1)
+    cpu = CPU(process, get_costs("epyc-rome"), backend="jit")
+    debugger = Debugger(cpu)
+    before = jit_stats_snapshot()
+    while not debugger.step(1):
+        pass
+    after = jit_stats_snapshot()
+    assert after["deopts"] > before["deopts"]
+    assert debugger.result.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# Tier 1: CFG recovery, fusion, stats.
+# ---------------------------------------------------------------------------
+
+
+def test_block_recovery_boundaries_and_fusion():
+    def build(loop_head):
+        return assemble(
+            [
+                I(Op.MOV, Reg.RAX, Imm(0)),       # 0: falls into loop head
+                I(Op.PUSH, Reg.RAX),              # 1: loop head (branch target)
+                I(Op.PUSH, Reg.RBX),              # 2: push run with 1
+                I(Op.POP, Reg.RBX),               # 3
+                I(Op.POP, Reg.RAX),               # 4
+                I(Op.ADD, Reg.RAX, Imm(1)),       # 5
+                I(Op.CMP, Reg.RAX, Imm(3)),       # 6: fuses with 7
+                I(Op.JL, Imm(loop_head)),         # 7: back edge
+                I(Op.EXIT, Imm(0)),               # 8
+            ]
+        )
+
+    # Two-pass: assemble to learn the loop head, reassemble with the
+    # back edge pointing at it (the target width may shift addresses, so
+    # iterate to a fixed point).
+    _, addresses = build(0)
+    while True:
+        process, new_addresses = build(addresses[1])
+        if new_addresses == addresses:
+            break
+        addresses = new_addresses
+    program = recover_blocks(get_bound_program(process, get_costs("epyc-rome")))
+    stats = program.stats()
+    assert stats["blocks"] == 3
+    heads = sorted(program.by_addr)
+    assert heads == [addresses[0], addresses[1], addresses[8]]
+    loop = program.by_addr[addresses[1]]
+    assert loop.tier == 2
+    kinds = {kind for kind, _, _ in loop.fused}
+    assert kinds == {"cmp+jcc", "push-run"}
+    assert ("taken", addresses[1]) in loop.successors()
+    assert stats["superinstructions_fused"] == 2
+    # Every in-block address maps to its residue through the terminator.
+    assert program.steps_to_end[addresses[1]] == len(loop)
+    assert program.steps_to_end[addresses[7]] == 1
+
+
+def test_monotone_icache_detection():
+    costs = get_costs("epyc-rome")
+    process, _ = assemble([I(Op.MOV, Reg.RAX, Imm(1)), I(Op.EXIT, Imm(0))])
+    assert _text_fits_icache(process.instructions, costs)
+    # ways+1 distinct lines hashing into one set force real LRU.
+    sets = costs.icache_size // (costs.icache_line * costs.icache_ways)
+    stride = sets * costs.icache_line
+    crowded = {
+        0x1000 + k * stride: SimpleNamespace(size=1)
+        for k in range(costs.icache_ways + 1)
+    }
+    assert not _text_fits_icache(crowded, costs)
+
+
+# ---------------------------------------------------------------------------
+# Tier 2: the compiled-code cache is shared across loads of one image.
+# ---------------------------------------------------------------------------
+
+
+def test_code_cache_reused_across_loads_of_one_image():
+    binary = compile_module(loop_module(), R2CConfig.full(seed=10))
+
+    def run_once():
+        process = load_binary(binary, seed=1)
+        cpu = CPU(process, get_costs("epyc-rome"), backend="jit")
+        return cpu.run()
+
+    before = jit_stats_snapshot()
+    first = run_once()
+    mid = jit_stats_snapshot()
+    second = run_once()
+    after = jit_stats_snapshot()
+
+    assert dataclasses.asdict(first) == dataclasses.asdict(second)
+    # The hot loop crosses the promotion threshold: blocks were compiled.
+    assert mid["blocks_compiled"] > before["blocks_compiled"]
+    # The second load (same image, same layout seed) relinks cached code
+    # objects instead of recompiling.
+    assert after["blocks_compiled"] == mid["blocks_compiled"]
+    assert after["code_cache_hits"] > mid["code_cache_hits"]

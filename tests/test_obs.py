@@ -46,10 +46,9 @@ from repro.obs.tracing import (
 from repro.toolchain.builder import IRBuilder
 from repro.workloads.spec import build_spec_benchmark
 
-from tests.test_backends import assemble
+from tests.test_backends import BACKENDS, assemble
 
 I = Instruction
-BACKENDS = ("reference", "fast")
 
 
 @contextmanager
