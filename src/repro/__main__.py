@@ -658,6 +658,96 @@ def bench_main(argv) -> int:
     return 0 if bench_report.ok and not problems else 1
 
 
+def mine_main(argv) -> int:
+    """``python -m repro mine``: the static gadget dataflow miner.
+
+    Compiles N seed variants of one workload, censuses every ROP/JOP
+    gadget by semantic summary (:mod:`repro.analysis.gadgets`),
+    intersects the censuses for invariant gadgets (position-pinned and
+    position-independent), synthesizes attack chains against the first
+    variant, concretely re-executes a sample of summaries on the
+    reference backend, and writes a ``repro-gadgets/v1`` artifact.
+    Exits 1 on any summary/concrete mismatch or schema violation.
+    """
+    import json
+
+    from repro.analysis.gadgets import GADGET_WINDOW, mine, validate
+    from repro.analysis.lint import CONFIGS
+    from repro.workloads.spec import SPEC_BENCHMARKS, build_spec_benchmark
+
+    workloads = sorted(SPEC_BENCHMARKS) + ["victim", "webserver"]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro mine",
+        description="Mine ROP/JOP gadgets across N diversified variants: "
+        "semantic census, invariant-gadget intersection, chain synthesis, "
+        "and a repro-gadgets/v1 artifact.",
+    )
+    parser.add_argument("workload", choices=workloads, help="workload to mine")
+    parser.add_argument(
+        "--variants",
+        type=int,
+        default=3,
+        metavar="N",
+        help="seed variants to census (default: 3)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, metavar="N", help="first variant seed (default: 1)"
+    )
+    parser.add_argument(
+        "--config",
+        default="full",
+        choices=sorted(CONFIGS),
+        help="diversification config to mine under (default: full)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=GADGET_WINDOW,
+        metavar="N",
+        help=f"longest gadget suffix in instructions (default: {GADGET_WINDOW})",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="write the artifact as JSON"
+    )
+    args = parser.parse_args(argv)
+    if args.variants < 2:
+        parser.error("--variants must be at least 2")
+
+    if args.workload == "victim":
+        from repro.workloads.victim import build_victim
+
+        module = build_victim()
+    elif args.workload == "webserver":
+        from repro.workloads.webserver import SERVERS, build_webserver
+
+        module = build_webserver(SERVERS[0])
+    else:
+        module = build_spec_benchmark(args.workload)
+    config = CONFIGS[args.config](args.seed)
+    seeds = [args.seed + index for index in range(args.variants)]
+
+    started = time.perf_counter()
+    mine_report = mine(
+        module,
+        config,
+        seeds,
+        workload=args.workload,
+        config_name=args.config,
+        window=args.window,
+    )
+    print(mine_report.render())
+    print(f"[{time.perf_counter() - started:.1f}s]")
+    text = mine_report.to_json()
+    problems = validate(json.loads(text))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"[gadget artifact -> {args.out}]")
+    for problem in problems:
+        print(f"schema violation: {problem}", file=sys.stderr)
+    return 0 if mine_report.ok and not problems else 1
+
+
 EXPERIMENTS = {
     "table1": (run_table1, "Table 1: component overheads"),
     "table2": (run_table2, "Table 2: call frequencies"),
@@ -692,6 +782,8 @@ def main(argv=None) -> int:
         return bench_main(list(argv[1:]))
     if argv and argv[0] == "mvee":
         return mvee_main(list(argv[1:]))
+    if argv and argv[0] == "mine":
+        return mine_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the R2C paper's tables and figures.",
@@ -735,6 +827,7 @@ def main(argv=None) -> int:
         print(f"  {'disasm-blocks':13s} Tier-1 block CFG dump (own flags; see disasm-blocks --help)")
         print(f"  {'bench':13s} Benchmark regression harness (own flags; see bench --help)")
         print(f"  {'mvee':13s} N-variant lockstep cross-check (own flags; see mvee --help)")
+        print(f"  {'mine':13s} Static gadget dataflow miner (own flags; see mine --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments

@@ -7,6 +7,9 @@ The subsystem has three provers and one knob:
   checker (stack-depth abstract interpretation, unwind cross-checks, and
   the R2C-specific BTRA/BTDP/trap proofs);
 * :mod:`repro.analysis.entropy` — does diversification diversify;
+* :mod:`repro.analysis.gadgets` — the attack-side miner: semantic gadget
+  census, cross-variant invariant search, and chain synthesis
+  (``python -m repro mine``);
 * the *session verify default* — whether the compiler runs the checkers
   as a post-condition hook after every build.  Off in normal use (lint
   and the engine verify explicitly), on across the test suite via
@@ -26,6 +29,14 @@ from repro.analysis.findings import (
     VerificationError,
     fail,
 )
+from repro.analysis.gadgets import (
+    GadgetCensus,
+    GadgetSummary,
+    MineReport,
+    mine,
+    synthesize,
+    take_census,
+)
 from repro.analysis.irverify import verify_module
 
 __all__ = [
@@ -39,6 +50,12 @@ __all__ = [
     "verify_loaded",
     "default_verify",
     "set_default_verify",
+    "GadgetCensus",
+    "GadgetSummary",
+    "MineReport",
+    "mine",
+    "synthesize",
+    "take_census",
 ]
 
 _default_verify: bool = os.environ.get("R2C_VERIFY", "") not in ("", "0")

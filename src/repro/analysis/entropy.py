@@ -8,6 +8,13 @@ threat model):
 * **surviving gadgets** — instruction suffixes ending at ``ret`` that
   appear at the same text offset with the same rendering in two variants;
   the pairwise survival fraction is what code-reuse payloads can count on;
+* **semantic survival** — the same question asked the way a real miner
+  asks it (:mod:`repro.analysis.gadgets`): gadget classes equal *by
+  effect* (abstract-interpretation summary) surviving at **any** offset
+  — position-independent reuse after one pointer disclosure.  The
+  offset+text metric above undercounts this attack surface, which is why
+  both are reported: the old one for artifact continuity, the new one as
+  the number diversification must actually drive down;
 * **layout entropy** — Shannon entropy (bits) of each function's entry
   offset across the variant set (function shuffle + NOP/trap insertion);
 * **regalloc divergence** — fraction of variant pairs in which a
@@ -83,6 +90,11 @@ class EntropyAudit:
     seeds: List[int]
     gadget_counts: List[int]
     pairwise_survival: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: Distinct semantic gadget classes per variant (the miner's census).
+    semantic_class_counts: List[int] = field(default_factory=list)
+    #: Position-independent semantic survival per variant pair — the
+    #: fraction an offset-oblivious miner can still reuse.
+    pairwise_semantic_survival: List[Tuple[int, int, float]] = field(default_factory=list)
     layout_entropy_bits: float = 0.0
     max_layout_entropy_bits: float = 0.0
     regalloc_divergence: float = 0.0
@@ -98,12 +110,27 @@ class EntropyAudit:
     def max_survival(self) -> float:
         return max((s for _, _, s in self.pairwise_survival), default=0.0)
 
+    @property
+    def mean_semantic_survival(self) -> float:
+        if not self.pairwise_semantic_survival:
+            return 0.0
+        return sum(s for _, _, s in self.pairwise_semantic_survival) / len(
+            self.pairwise_semantic_survival
+        )
+
+    @property
+    def max_semantic_survival(self) -> float:
+        return max((s for _, _, s in self.pairwise_semantic_survival), default=0.0)
+
     def render(self) -> str:
         lines = [
             f"entropy audit over {len(self.seeds)} variants (seeds {self.seeds})",
             f"  gadgets per variant: {self.gadget_counts}",
             f"  surviving-gadget fraction: mean {self.mean_survival:.4f}, "
             f"max {self.max_survival:.4f}",
+            f"  semantic survival (position-independent): "
+            f"mean {self.mean_semantic_survival:.4f}, "
+            f"max {self.max_semantic_survival:.4f}",
             f"  layout entropy: {self.layout_entropy_bits:.2f} / "
             f"{self.max_layout_entropy_bits:.2f} bits",
             f"  regalloc divergence: {self.regalloc_divergence:.2%}",
@@ -117,14 +144,24 @@ def audit_binaries(binaries: List[Binary], seeds: List[int]) -> EntropyAudit:
     if len(binaries) < 2:
         raise ValueError("entropy audit needs at least two variants")
 
+    from repro.analysis.gadgets import semantic_survival, take_census
+
     gadget_sets = [extract_gadgets(b) for b in binaries]
-    audit = EntropyAudit(seeds=list(seeds), gadget_counts=[len(g) for g in gadget_sets])
+    censuses = [take_census(b) for b in binaries]
+    audit = EntropyAudit(
+        seeds=list(seeds),
+        gadget_counts=[len(g) for g in gadget_sets],
+        semantic_class_counts=[len(c.keys()) for c in censuses],
+    )
 
     for i in range(len(binaries)):
         for j in range(i + 1, len(binaries)):
             smaller = min(len(gadget_sets[i]), len(gadget_sets[j])) or 1
             shared = len(gadget_sets[i] & gadget_sets[j])
             audit.pairwise_survival.append((seeds[i], seeds[j], shared / smaller))
+            audit.pairwise_semantic_survival.append(
+                (seeds[i], seeds[j], semantic_survival(censuses[i], censuses[j]))
+            )
 
     # Layout entropy: mean per-function entry-offset entropy.  Booby-trap
     # function sets differ per seed, so only functions common to every

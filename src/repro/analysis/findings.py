@@ -62,6 +62,11 @@ RULES: Dict[str, str] = {
     "PLAN005": "BTDP count set but module has no BTDP source symbol",
     # -- lint driver (lint.py) ---------------------------------------------
     "LINT001": "workload faulted while executing under verification",
+    # -- gadget miner (gadgets.py) -----------------------------------------
+    "GADGET001": "dangerous ret gadget survives position-pinned across variants",
+    "GADGET002": "dangerous JOP gadget survives position-pinned across variants",
+    "GADGET003": "synthesized chain transfers position-pinned to another variant",
+    "GADGET004": "gadget semantic summary failed concrete re-execution",
 }
 
 

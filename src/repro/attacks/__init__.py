@@ -16,6 +16,9 @@ victim's defender-side metadata.
 * :mod:`repro.attacks.blindrop` — Blind-ROP-style brute force against
   restarting workers.
 * :mod:`repro.attacks.pirop` — position-independent (partial-pointer) reuse.
+* :mod:`repro.attacks.mined` — miner-synthesized ROP chain and
+  anchor-oblivious AOCR driven by :mod:`repro.analysis.gadgets` instead
+  of hand-written geometry.
 """
 
 from repro.attacks.outcomes import AttackOutcome, AttackResult
@@ -30,6 +33,7 @@ from repro.attacks.aocr import aocr_attack
 from repro.attacks.blindrop import blindrop_attack
 from repro.attacks.pirop import pirop_attack
 from repro.attacks.fengshui import fengshui_attack
+from repro.attacks.mined import mined_aocr_attack, mined_rop_attack
 
 ALL_ATTACKS = {
     "rop": rop_attack,
@@ -38,6 +42,8 @@ ALL_ATTACKS = {
     "aocr": aocr_attack,
     "blindrop": blindrop_attack,
     "pirop": pirop_attack,
+    "mined-rop": mined_rop_attack,
+    "mined-aocr": mined_aocr_attack,
 }
 
 #: The Section 7.2.3 feng-shui refinement is kept out of the Table 3
@@ -62,6 +68,8 @@ __all__ = [
     "blindrop_attack",
     "pirop_attack",
     "fengshui_attack",
+    "mined_rop_attack",
+    "mined_aocr_attack",
     "ALL_ATTACKS",
     "EXTENDED_ATTACKS",
 ]

@@ -34,10 +34,39 @@ def r2c_session(seed=42, **kwargs):
 
 # ---- the monoculture falls to everything ----------------------------------
 
-@pytest.mark.parametrize("attack_name", ["rop", "indirect-jitrop", "aocr", "pirop"])
+@pytest.mark.parametrize(
+    "attack_name",
+    ["rop", "indirect-jitrop", "aocr", "pirop", "mined-rop", "mined-aocr"],
+)
 def test_baseline_falls_to_single_shot_attacks(attack_name):
     result = ALL_ATTACKS[attack_name](baseline_session(), attacker_seed=1)
     assert result.outcome is AttackOutcome.SUCCESS, result
+
+
+def test_mined_rop_matches_handwritten_rop_on_the_monoculture():
+    """The miner-synthesized chain must reproduce the hand-written
+    attack's outcome against the undiversified victim (ISSUE acceptance):
+    same success, through a chain derived entirely from the census."""
+    handwritten = rop_attack(baseline_session(), attacker_seed=1)
+    mined = ALL_ATTACKS["mined-rop"](baseline_session(), attacker_seed=1)
+    assert mined.outcome is handwritten.outcome is AttackOutcome.SUCCESS
+    assert mined.probes == 1
+
+
+@pytest.mark.parametrize("attack_name", ["mined-rop", "mined-aocr"])
+def test_mined_attack_outcomes_are_backend_invariant(attack_name):
+    """Table 3's mined rows must be byte-identical across execution
+    backends; the per-cell guarantee is outcome identity."""
+    from repro.machine.backends import available_backends
+
+    for make_session in (baseline_session, lambda **kw: r2c_session(seed=41, **kw)):
+        outcomes = {
+            backend: ALL_ATTACKS[attack_name](
+                make_session(backend=backend), attacker_seed=41
+            ).outcome
+            for backend in available_backends()
+        }
+        assert len(set(outcomes.values())) == 1, outcomes
 
 
 def test_baseline_falls_to_jitrop_when_text_is_readable():

@@ -136,6 +136,43 @@ def test_parse_listing_recovers_overridden_sizes():
     ]
 
 
+def test_listing_round_trip_across_fused_boundaries(simple_module):
+    """Listings sliced across superinstruction fusion boundaries must
+    survive the render/parse cycle with the fusion annotations intact.
+
+    The tier-2 promoter fuses ``cmp+jcc`` and push-runs from lazily
+    sliced blocks (:func:`fuse_slice`); a listing that re-parses into
+    different fusions would make a disassembly-driven tool disagree with
+    the execution engine about superinstruction extent.
+    """
+    from repro.machine.blocks import fuse_slice, slice_block
+
+    # push-mode BTRAs emit consecutive pushes (push-runs); the module's
+    # branches supply cmp+jcc pairs.
+    binary = compile_module(simple_module, R2CConfig.full(seed=3, btra_mode="push"))
+    index = dict(binary.text)
+
+    fused_kinds = set()
+    slices = []
+    for offset, _ in binary.text:
+        items = slice_block(index, offset)
+        fusions = fuse_slice(items)
+        if fusions:
+            slices.append((items, fusions))
+            fused_kinds.update(kind for kind, _, _ in fusions)
+    # The workload must actually exercise both fusion patterns, or the
+    # round trip proves nothing.
+    assert fused_kinds == {"cmp+jcc", "push-run"}
+
+    for items, fusions in slices:
+        listing = "\n".join(format_instruction(addr, instr) for addr, instr in items)
+        parsed = parse_listing(listing)
+        assert [(o, i.op, i.a, i.b) for o, i in parsed] == [
+            (o, i.op, i.a, i.b) for o, i in items
+        ]
+        assert fuse_slice(parsed) == fusions
+
+
 def test_compiled_function_listing_round_trips(simple_module):
     """Disassemble every function of a fully diversified binary and parse
     the listings back; the reconstruction must match the text stream

@@ -1,0 +1,302 @@
+"""The static gadget dataflow miner (ISSUE 8).
+
+Census correctness (straight-line windows, JOP counted separately),
+semantic summaries pinned against hand-computed effects and — via the
+hypothesis property — against concrete single-step execution on the
+reference backend, equality-by-effect, cross-variant invariant search,
+the satellite guarantee that semantic survival is >= the historical
+offset+text metric on identical variants, chain synthesis, and the
+repro-gadgets/v1 artifact schema.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.entropy import audit_binaries
+from repro.analysis.gadgets import (
+    EmitOutput,
+    GADGET_WINDOW,
+    RegLoadThenCall,
+    _STOPPERS,
+    concrete_check,
+    executable,
+    find_invariants,
+    mine,
+    mine_data_pointers,
+    selfcheck,
+    semantic_survival,
+    summarize,
+    synthesize,
+    take_census,
+    validate,
+)
+from repro.core.compiler import compile_module
+from repro.core.config import R2CConfig
+from repro.machine.isa import Imm, Instruction, Mem, Op, Reg
+from repro.workloads.victim import ATTACK_ARG, SUCCESS_TAG, build_victim
+
+
+@pytest.fixture(scope="module")
+def victim_binary():
+    return compile_module(build_victim(), R2CConfig.baseline().replace(seed=0, verify=False))
+
+
+@pytest.fixture(scope="module")
+def victim_census(victim_binary):
+    return take_census(victim_binary)
+
+
+# ---- census ---------------------------------------------------------------
+
+
+def test_census_counts_rop_and_jop_separately(victim_census):
+    counts = victim_census.counts
+    assert counts["ret"] > 0
+    # The victim's indirect handler dispatch contributes call-terminated
+    # JOP gadgets, censused under their own kind.
+    assert counts["jop-call"] > 0
+    assert sum(counts.values()) == len(victim_census.records)
+    for record in victim_census.records:
+        assert record.kind == record.summary.terminator
+
+
+def test_census_suffixes_are_straight_line(victim_binary, victim_census):
+    """No censused suffix crosses a control transfer or a text gap."""
+    by_offset = dict(victim_binary.text)
+    for record in victim_census.records:
+        offset = record.offset
+        for position in range(record.length):
+            instr = by_offset[offset]
+            if position < record.length - 1:
+                assert instr.op not in _STOPPERS, record.text
+            offset += instr.size
+        assert record.length <= GADGET_WINDOW
+
+
+# ---- semantic summaries ---------------------------------------------------
+
+
+def test_summary_of_epilogue_loader():
+    # The toolchain's epilogue shape: slot restore + stack release + ret.
+    summary = summarize(
+        [
+            Instruction(Op.MOV, Reg.R11, Mem(base=Reg.RSP, offset=0x10)),
+            Instruction(Op.ADD, Reg.RSP, Imm(0x38)),
+            Instruction(Op.RET),
+        ]
+    )
+    assert summary.terminator == "ret"
+    assert summary.pure
+    assert summary.stack_delta == 0x40  # 0x38 release + the RIP pop
+    assert summary.ret_slot == 0x38
+    assert ("r11", ("sld", 0x10, 0)) in summary.reg_effects
+    assert summary.loads == (("stack", 0x10),)
+
+
+def test_summary_push_pop_mirror_reference_rsp_semantics():
+    pop = summarize([Instruction(Op.POP, Reg.RBX), Instruction(Op.RET)])
+    assert pop.ret_slot == 8 and pop.stack_delta == 16
+    assert ("rbx", ("sld", 0, 0)) in pop.reg_effects
+
+    push = summarize([Instruction(Op.PUSH, Reg.RAX), Instruction(Op.RET)])
+    # push rax; ret returns into the pushed value: the "ret slot" is the
+    # word the gadget itself wrote below entry rsp.
+    assert push.ret_slot == -8 and push.stack_delta == 0
+    assert (("stack", -8), ("ireg", int(Reg.RAX), 0)) in push.stores
+
+
+def test_summary_folds_flags_through_setcc():
+    summary = summarize(
+        [
+            Instruction(Op.MOV, Reg.RAX, Imm(7)),
+            Instruction(Op.CMP, Reg.RAX, Imm(7)),
+            Instruction(Op.SETE, Reg.RBX),
+            Instruction(Op.RET),
+        ]
+    )
+    assert ("rbx", ("const", 1)) in summary.reg_effects
+    assert summary.writes_flags and summary.reads_flags
+
+
+def test_equal_by_effect_not_by_text():
+    """`pop rbx; ret` and `mov rbx,[rsp]; add rsp,$8; ret` are the same
+    gadget to a semantic miner — the equivalence textual matching misses."""
+    pop_form = summarize([Instruction(Op.POP, Reg.RBX), Instruction(Op.RET)])
+    mov_form = summarize(
+        [
+            Instruction(Op.MOV, Reg.RBX, Mem(base=Reg.RSP)),
+            Instruction(Op.ADD, Reg.RSP, Imm(8)),
+            Instruction(Op.RET),
+        ]
+    )
+    assert pop_form.semantic_key() == mov_form.semantic_key()
+    # ...and a different slot is a different effect.
+    other = summarize(
+        [
+            Instruction(Op.MOV, Reg.RBX, Mem(base=Reg.RSP, offset=8)),
+            Instruction(Op.ADD, Reg.RSP, Imm(8)),
+            Instruction(Op.RET),
+        ]
+    )
+    assert other.semantic_key() != pop_form.semantic_key()
+
+
+def test_jop_summary_carries_the_transfer_target():
+    summary = summarize(
+        [
+            Instruction(Op.MOV, Reg.RAX, Mem(base=Reg.RSP, offset=8)),
+            Instruction(Op.CALL, Reg.RAX),
+        ]
+    )
+    assert summary.terminator == "jop-call"
+    assert summary.target == ("sld", 8, 0)
+    assert "dispatch" in summary.capabilities()
+
+
+# ---- the hypothesis property: summaries match concrete execution ----------
+
+
+@settings(max_examples=40, deadline=None)
+@given(pick=st.integers(min_value=0, max_value=10_000), rng_seed=st.integers(0, 2**16))
+def test_summaries_match_concrete_execution(victim_binary, victim_census, pick, rng_seed):
+    """Every statically executable summary must predict the reference
+    backend exactly: final rsp, the loaded rip, register effects, and
+    emitted output words, from randomized entry state."""
+    records = [record for record in victim_census.records if executable(record)]
+    assert records
+    record = records[pick % len(records)]
+    assert concrete_check(victim_binary, record, rng_seed=rng_seed) is None
+
+
+def test_selfcheck_is_clean_on_the_victim(victim_binary, victim_census):
+    checked, report = selfcheck(victim_binary, victim_census)
+    assert checked > 0
+    assert report.ok, report.render()
+
+
+# ---- invariant search and the entropy satellite ---------------------------
+
+
+def _variants(config, seeds):
+    module = build_victim()
+    return [
+        compile_module(module, config.replace(seed=seed, verify=False)) for seed in seeds
+    ]
+
+
+def test_identical_variants_survive_fully_and_semantic_is_geq_text():
+    """Satellite: on identical variants the position-independent semantic
+    metric must be >= the historical offset+text metric (both 1.0)."""
+    binaries = _variants(R2CConfig.baseline(), [0, 1])
+    audit = audit_binaries(binaries, [0, 1])
+    assert audit.max_survival == 1.0
+    assert audit.mean_semantic_survival >= audit.mean_survival
+    assert audit.mean_semantic_survival == 1.0
+    assert audit.semantic_class_counts[0] == audit.semantic_class_counts[1]
+
+
+def test_diversification_kills_pinned_but_not_all_semantic_classes():
+    binaries = _variants(R2CConfig.full(seed=1), [1, 2, 3])
+    censuses = [take_census(binary) for binary in binaries]
+    invariants = find_invariants(censuses, [1, 2, 3])
+    # Full R2C relocates everything: nothing survives position-pinned...
+    assert not invariants.pinned
+    # ...but semantically equivalent gadgets survive *somewhere* — the
+    # attack surface the offset+text metric undercounts.
+    assert invariants.independent
+    pinned = semantic_survival(censuses[0], censuses[1], position_independent=False)
+    independent = semantic_survival(censuses[0], censuses[1], position_independent=True)
+    assert independent > pinned
+
+
+def test_entropy_audit_reports_semantic_survival_under_full_r2c():
+    binaries = _variants(R2CConfig.full(seed=1), [1, 2])
+    audit = audit_binaries(binaries, [1, 2])
+    assert audit.max_survival == 0.0
+    assert 0.0 < audit.mean_semantic_survival < 1.0
+    assert "semantic survival" in audit.render()
+
+
+# ---- chain synthesis ------------------------------------------------------
+
+
+def test_synthesizer_solves_emit_output_on_the_victim(victim_census):
+    chain = synthesize(victim_census, EmitOutput(SUCCESS_TAG | ATTACK_ARG))
+    assert chain is not None
+    # Layout invariants: one launch word plus every gadget's full frame.
+    assert len(chain.words) == 1 + sum(
+        record.summary.stack_delta // 8 for record in chain.gadgets
+    )
+    value_words = [value for kind, value in chain.words if kind == "imm"]
+    assert (SUCCESS_TAG | ATTACK_ARG) in value_words
+    # Materialization relocates exactly the text words.
+    base = 0x7000_0000
+    resolved = chain.materialize(base)
+    for (kind, value), word in zip(chain.words, resolved):
+        assert word == (base + value if kind == "text" else value) & 0xFFFFFFFFFFFFFFFF
+
+
+def test_synthesizer_chain_transfers_only_to_identical_variants(victim_census):
+    chain = synthesize(victim_census, EmitOutput(SUCCESS_TAG | ATTACK_ARG))
+    assert chain.transfers_to(victim_census)
+    diversified = take_census(
+        compile_module(build_victim(), R2CConfig.full(seed=5).replace(verify=False))
+    )
+    assert not chain.transfers_to(diversified)
+
+
+def test_synthesizer_reg_load_then_call(victim_census):
+    chain = synthesize(victim_census, RegLoadThenCall(None, 0x5CA7, 0x40))
+    assert chain is not None
+    assert chain.words[-1] == ("text", 0x40) or ("text", 0x40) in chain.words
+
+
+# ---- mined data-pointer map -----------------------------------------------
+
+
+def test_mine_data_pointers_recovers_the_dispatch_topology(victim_binary):
+    data_map = mine_data_pointers(victim_binary)
+    symbols = victim_binary.symbols_data
+    assert data_map.handler_slot == symbols["handler_ptr"]
+    assert data_map.param_slot == symbols["default_param"]
+    assert [symbol for _, symbol in data_map.dormant_slots] == ["target_exec"]
+    # Anchors are exactly the data symbols materialized in text.
+    assert symbols["config_blob"] in data_map.anchor_offsets
+
+
+# ---- the repro-gadgets/v1 artifact ----------------------------------------
+
+
+def test_mine_artifact_validates_and_reports_selfcheck():
+    report = mine(
+        build_victim(),
+        R2CConfig.full(seed=1),
+        [1, 2],
+        workload="victim",
+        config_name="full",
+        check_sample=8,
+    )
+    payload = json.loads(report.to_json())
+    assert validate(payload) == []
+    assert payload["schema"] == "repro-gadgets/v1"
+    assert payload["selfcheck"]["mismatches"] == 0
+    assert payload["ok"] is True
+    goals = {row["goal"] for row in payload["synthesis"]}
+    assert goals == {"emit-output", "reg-load-then-call", "write-what-where", "stack-pivot"}
+
+
+def test_validate_rejects_malformed_artifacts():
+    assert validate({"schema": "nope"})
+    report = mine(
+        build_victim(), R2CConfig.baseline(), [0, 1], workload="victim", config_name="baseline"
+    )
+    payload = json.loads(report.to_json())
+    del payload["survival"]["semantic_independent"]
+    assert any("semantic_independent" in p for p in validate(payload))
+    broken = json.loads(report.to_json())
+    broken["variants"][0]["total"] += 1
+    assert any("total" in p for p in validate(broken))
