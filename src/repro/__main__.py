@@ -121,10 +121,44 @@ def run_chaos_command(args) -> int:
 
     Exits 1 unless every injected fault surfaced as its expected outcome
     with a full request-ordered record list, so CI can gate on it.
+    With ``--fleet``, chaos instead targets the serving layer: seeded
+    worker kills/hangs, attack-probe arrivals, and compile faults against
+    a live fleet, gating on the zero-lost-requests contract.
     """
-    from repro.reliability.chaos import run_chaos
+    from repro.reliability.chaos import run_chaos, run_fleet_chaos
 
     started = time.perf_counter()
+    if args.fleet:
+        fleet_report = run_fleet_chaos(
+            backend=args.backend, seed=args.seed, workers=args.workers
+        )
+        serving = fleet_report.serving
+        outcomes = " ".join(
+            f"{name}={count}"
+            for name, count in sorted(serving.get("outcomes", {}).items())
+        )
+        print(
+            f"Fleet chaos: workers={fleet_report.workers} "
+            f"backend={fleet_report.backend} seed={fleet_report.seed}"
+        )
+        print(f"  arrivals {serving.get('arrivals', 0)}  ({outcomes})")
+        print(
+            f"  kills {serving.get('kills', 0)}  hangs {serving.get('hangs', 0)}  "
+            f"compile faults {serving.get('compile_faults', 0)}  "
+            f"swaps {serving.get('swaps', 0)}  restarts {serving.get('restarts', 0)}"
+        )
+        if fleet_report.ok:
+            print("chaos: OK — the fleet resolved every request under fire")
+        else:
+            print(f"chaos: {len(fleet_report.violations)} violation(s):")
+            for violation in fleet_report.violations:
+                print(f"  {violation}")
+        print(f"[{time.perf_counter() - started:.1f}s]")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(fleet_report.to_json() + "\n")
+            print(f"[chaos report -> {args.out}]")
+        return 0 if fleet_report.ok else 1
     chaos_report = run_chaos(
         jobs=args.jobs, backend=args.backend, seed=args.seed, timeout=args.timeout
     )
@@ -170,6 +204,19 @@ def chaos_main(argv) -> int:
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH", help="write the chaos report as JSON"
+    )
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="chaos the serving layer instead: kill/hang worker fractions, "
+        "attack probes, and compile faults against a live fleet",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="fleet worker count for --fleet (default: 4)",
     )
     args = parser.parse_args(argv)
     return run_chaos_command(args)
@@ -658,6 +705,115 @@ def bench_main(argv) -> int:
     return 0 if bench_report.ok and not problems else 1
 
 
+def fleet_main(argv) -> int:
+    """``python -m repro fleet``: the serving-axis benchmark.
+
+    Drives a supervised victim fleet with seeded open-loop load (optionally
+    under chaos), prints the serving report, and writes a validating
+    ``repro-bench/v1`` artifact with the ``serving`` section.  Exits 1 if
+    any request was lost, the artifact fails validation, or — with
+    ``--chaos`` — nothing actually went wrong (an un-exercised chaos leg
+    is a broken chaos leg).
+    """
+    import json
+
+    from repro.fleet.loadgen import run_fleet
+    from repro.obs.bench import validate
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Schedule seeded open-loop load across a pool of "
+        "supervised victim workers with admission control, hedged "
+        "retries, deadlines, and MARDU-style rolling re-randomization; "
+        "report p50/p99 latency, sustained RPS, shed/retry/swap counts, "
+        "and the attacker window as a repro-bench/v1 artifact.",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="victim worker slots (default: 4)",
+    )
+    parser.add_argument(
+        "--rps", type=float, default=300.0, metavar="R",
+        help="offered load, requests per virtual second (default: 300)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=2.0, metavar="S",
+        help="virtual seconds of load (default: 2.0)",
+    )
+    parser.add_argument(
+        "--rerand-interval", type=float, default=1.0, metavar="K",
+        help="per-worker re-randomization period in virtual seconds "
+        "(default: 1.0; 0 disables rotation)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=0.1, metavar="S",
+        help="per-request deadline in virtual seconds (default: 0.1)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="fast",
+        choices=available_backends(),
+        help="execution backend for the measured service profiles "
+        "(default: fast; metrics are backend-invariant)",
+    )
+    parser.add_argument(
+        "--machine", default="epyc-rome", help="cost model (default: epyc-rome)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="load/chaos/diversification seed (default: 0)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="arm seeded worker kills/hangs, attack probes, and compile "
+        "faults; the run must still resolve every request",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared on-disk compile cache (workers and repeat runs "
+        "single-flight their builds through it)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="artifact path (default: BENCH_fleet_<date>.json)",
+    )
+    args = parser.parse_args(argv)
+    out = args.out or time.strftime("BENCH_fleet_%Y-%m-%d.json")
+
+    started = time.perf_counter()
+    fleet_report = run_fleet(
+        workers=args.workers,
+        rps=args.rps,
+        duration_seconds=args.duration,
+        rerand_interval=args.rerand_interval or None,
+        backend=args.backend,
+        machine=args.machine,
+        seed=args.seed,
+        chaos=args.chaos,
+        cache_dir=args.cache_dir,
+        deadline_seconds=args.deadline,
+    )
+    print(report.render_fleet(fleet_report))
+    print(f"[{time.perf_counter() - started:.1f}s]")
+
+    bench_report = fleet_report.to_bench_report()
+    text = bench_report.to_json()
+    problems = validate(json.loads(text))
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"[fleet artifact -> {out}]")
+    for problem in problems:
+        print(f"schema violation: {problem}", file=sys.stderr)
+    ok = fleet_report.zero_lost and not problems
+    if args.chaos and fleet_report.kills + fleet_report.hangs == 0:
+        print("chaos armed but no worker was killed or hung", file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
 def mine_main(argv) -> int:
     """``python -m repro mine``: the static gadget dataflow miner.
 
@@ -784,6 +940,8 @@ def main(argv=None) -> int:
         return mvee_main(list(argv[1:]))
     if argv and argv[0] == "mine":
         return mine_main(list(argv[1:]))
+    if argv and argv[0] == "fleet":
+        return fleet_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the R2C paper's tables and figures.",
@@ -828,6 +986,7 @@ def main(argv=None) -> int:
         print(f"  {'bench':13s} Benchmark regression harness (own flags; see bench --help)")
         print(f"  {'mvee':13s} N-variant lockstep cross-check (own flags; see mvee --help)")
         print(f"  {'mine':13s} Static gadget dataflow miner (own flags; see mine --help)")
+        print(f"  {'fleet':13s} Supervised victim fleet serving bench (own flags; see fleet --help)")
         return 0
 
     names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments

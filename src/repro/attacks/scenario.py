@@ -64,13 +64,19 @@ class ProbeResult:
     (status, result) pair — the reactive supervisor builds crash reports
     from the exception and the post-mortem CPU/process state."""
 
-    status: str  # "success" | "clean" | "detected" | "crashed" | "diverged"
+    # "success" | "clean" | "detected" | "crashed" | "diverged" |
+    # "timed-out" (supervised probes under a per-probe deadline)
+    status: str
     result: Optional[ExecutionResult]
     exception: Optional[MachineError]
     #: The (leader) machine state post-mortem — a CPU for single-variant
     #: probes, the leader's MachineState for N-variant lockstep probes.
     cpu: object
     process: object
+    #: True when a per-probe deadline classified this probe as a hang
+    #: (:class:`~repro.reliability.supervisor.SupervisedSession` sets it;
+    #: plain sessions never do).
+    timed_out: bool = False
 
 
 class VictimSession:
@@ -91,6 +97,7 @@ class VictimSession:
         backend: str = "reference",
         variants: int = 1,
         sync_every: int = 256,
+        instruction_budget: int = 5_000_000,
     ):
         if build_seed is not None:
             config = config.replace(seed=build_seed)
@@ -112,6 +119,9 @@ class VictimSession:
         #: "diverged" to the probe statuses.
         self.variants = variants
         self.sync_every = sync_every
+        #: Per-probe instruction ceiling — the supervised session tightens
+        #: it into a virtual-clock probe deadline.
+        self.instruction_budget = instruction_budget
         self._spawn_count = 0
         self.binary = compile_module(self.module, config)
         # Follower builds roll different diversification dice (same seed
@@ -149,7 +159,7 @@ class VictimSession:
         cpu = CPU(
             process,
             get_costs("epyc-rome"),
-            instruction_budget=5_000_000,
+            instruction_budget=self.instruction_budget,
             shadow_stack=self.shadow_stack,
             backend=self.backend,
         )
@@ -252,7 +262,7 @@ class VictimSession:
             processes,
             backend=self.backend,
             sync_every=self.sync_every,
-            instruction_budget=5_000_000,
+            instruction_budget=self.instruction_budget,
             shadow_stack=self.shadow_stack,
             monitor=self.monitor,
             compare_state=False,

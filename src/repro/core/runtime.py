@@ -39,10 +39,19 @@ from repro.rng import DiversityRng
 WORD = 8
 
 
-def make_btdp_constructor(config: R2CConfig) -> Callable[[Process, DiversityRng], None]:
-    """Build the BTDP runtime constructor for ``config``."""
+class BtdpConstructor:
+    """The BTDP runtime constructor for one ``config``.
 
-    def constructor(process: Process, rng: DiversityRng) -> None:
+    A class (not a closure) so :class:`~repro.toolchain.binary.Binary`
+    stays picklable — binaries cross process boundaries in the engine's
+    worker pool and rest on disk in the fleet's shared compile cache.
+    """
+
+    def __init__(self, config: R2CConfig):
+        self.config = config
+
+    def __call__(self, process: Process, rng: DiversityRng) -> None:
+        config = self.config
         allocator = process.allocator
         if allocator is None:
             raise RuntimeError("BTDP constructor needs a process heap allocator")
@@ -98,4 +107,7 @@ def make_btdp_constructor(config: R2CConfig) -> Callable[[Process, DiversityRng]
         process.r2c_runtime = info
         process.note_resident()
 
-    return constructor
+
+def make_btdp_constructor(config: R2CConfig) -> Callable[[Process, DiversityRng], None]:
+    """Build the BTDP runtime constructor for ``config``."""
+    return BtdpConstructor(config)

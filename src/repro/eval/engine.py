@@ -466,10 +466,28 @@ def _execute_request_phases(
 #: stalling the process cannot take the host session down with it.
 _IN_POOL_WORKER = False
 
+#: Directory for the shared on-disk compile cache inside pool workers
+#: (set by the pool initializer when the engine was given ``cache_dir``).
+_WORKER_CACHE_DIR: Optional[str] = None
 
-def _mark_pool_worker() -> None:
-    global _IN_POOL_WORKER
+
+def _mark_pool_worker(cache_dir: Optional[str] = None) -> None:
+    global _IN_POOL_WORKER, _WORKER_CACHE_DIR
     _IN_POOL_WORKER = True
+    _WORKER_CACHE_DIR = cache_dir
+
+
+def _make_compile_cache(cache_dir: Optional[str]) -> CompileCache:
+    """The in-memory cache, disk-backed when a directory is configured.
+
+    Imported lazily: :mod:`repro.fleet.cache` subclasses
+    :class:`CompileCache`, so a top-level import would be circular.
+    """
+    if cache_dir is None:
+        return CompileCache()
+    from repro.fleet.cache import DiskCompileCache
+
+    return DiskCompileCache(cache_dir)
 
 
 def _execute_request_guarded(
@@ -539,7 +557,7 @@ def _worker_execute_group(
 ) -> List[Tuple[int, RunRecord]]:
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
-        _WORKER_CACHE = CompileCache()
+        _WORKER_CACHE = _make_compile_cache(_WORKER_CACHE_DIR)
     if trace and not tracing_enabled():
         # The parent enabled tracing after this worker was forked (or the
         # pool spawned fresh): mirror the flag so the request spans exist
@@ -636,6 +654,7 @@ class ExperimentEngine:
         max_request_retries: int = 2,
         pool_backoff_base: float = 0.05,
         pool_backoff_cap: float = 1.0,
+        cache_dir: Optional[str] = None,
     ):
         from repro.machine.backends import get_backend
 
@@ -648,7 +667,11 @@ class ExperimentEngine:
         self.max_request_retries = max(0, int(max_request_retries))
         self.pool_backoff_base = pool_backoff_base
         self.pool_backoff_cap = pool_backoff_cap
-        self.cache = CompileCache()
+        #: When set, compiles persist to (and are shared through) this
+        #: directory — the serial path, every pool worker, and the fleet
+        #: all read and write the same single-flight store.
+        self.cache_dir = cache_dir
+        self.cache = _make_compile_cache(cache_dir)
         self.records: List[RunRecord] = []
         self._run_cache: Dict[RunKey, RunRecord] = {}
         self._run_cache_hits = 0
@@ -836,7 +859,9 @@ class ExperimentEngine:
                 break
             if self._pool is None:
                 self._pool = ProcessPoolExecutor(
-                    max_workers=self.jobs, initializer=_mark_pool_worker
+                    max_workers=self.jobs,
+                    initializer=_mark_pool_worker,
+                    initargs=(self.cache_dir,),
                 )
             try:
                 fmap = {

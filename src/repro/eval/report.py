@@ -226,6 +226,57 @@ def render_chaos(report) -> str:
     return "\n".join(lines)
 
 
+def render_fleet(report) -> str:
+    """Render a :class:`repro.fleet.loadgen.FleetReport`: outcome tallies,
+    latency percentiles, and the robustness counters."""
+    outcomes = " ".join(
+        f"{name}={count}" for name, count in sorted(report.outcomes.items())
+    )
+    lines = [
+        f"Fleet: workers={report.workers} backend={report.backend} "
+        f"seed={report.seed} offered={report.rps:g}rps "
+        f"duration={report.duration_seconds:g}s "
+        f"rerand={report.rerand_interval if report.rerand_interval else 'off'}"
+        f"{' chaos' if report.chaos else ''}",
+        "",
+        f"  arrivals {report.arrivals}  ({outcomes})",
+        f"  latency p50 {report.p50_ms:.2f}ms  p99 {report.p99_ms:.2f}ms  "
+        f"sustained {report.sustained_rps:.1f} rps",
+        f"  shed {report.shed}  retries {report.retries}  hedges {report.hedges}  "
+        f"restarts {report.restarts}  quarantines {report.quarantines}  "
+        f"spares {report.spare_activations}",
+        f"  chaos: kills {report.kills}  hangs {report.hangs} "
+        f"(detected {report.hang_detections})  compile faults {report.compile_faults}",
+        f"  re-randomization: swaps {report.swaps}  layout changes "
+        f"{report.layout_changes}  attacker window "
+        f"{report.attacker_window_seconds:.3f}s  throughput dip "
+        f"{report.throughput_dip_pct:.1f}% "
+        f"({report.swap_window_rps:.1f} rps in swap windows vs "
+        f"{report.steady_rps:.1f} steady)",
+    ]
+    cache = report.cache
+    if cache:
+        disk = (
+            f"  disk hits {cache['disk_hits']}  writes {cache['disk_writes']}  "
+            f"flight waits {cache['singleflight_waits']}"
+            if "disk_hits" in cache
+            else ""
+        )
+        lines.append(
+            f"  compile cache: hits {cache.get('hits', 0)}  "
+            f"misses {cache.get('misses', 0)}{disk}"
+        )
+    lines.append("")
+    if report.zero_lost:
+        lines.append(
+            "fleet: OK — every request resolved to a typed outcome "
+            "(zero silent drops)"
+        )
+    else:
+        lines.append("fleet: LOST REQUESTS — arrivals do not match outcomes")
+    return "\n".join(lines)
+
+
 def render_decomposition(data: Dict[str, float]) -> str:
     total = data.get("total_overhead_pct", 0.0)
     lines = [f"Overhead decomposition by emitted-instruction tag "

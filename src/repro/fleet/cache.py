@@ -1,0 +1,202 @@
+"""Cross-worker on-disk compile cache with single-flight compilation.
+
+The fleet rotates variants continuously: every re-randomization wave and
+every warm-spare activation wants a freshly-diversified binary, and N
+workers (plus the engine's pool workers, plus repeated CLI invocations)
+keep asking for the same (module fingerprint, config digest) pairs.  The
+in-memory :class:`~repro.eval.engine.CompileCache` deduplicates inside one
+process; this subclass extends it with a content-addressed on-disk store
+so the *session boundary* stops mattering:
+
+* **content-addressed** — entries are keyed by the same
+  ``(Module.fingerprint(), R2CConfig.digest())`` pair the in-memory cache
+  uses; the pair fully determines the binary, so entries never go stale
+  and never need invalidation;
+* **atomic** — binaries are pickled to a temp file in the cache directory
+  and ``os.replace``d into place, so readers only ever see complete
+  entries;
+* **single-flight** — the first caller to miss takes a lock file
+  (``O_CREAT | O_EXCL``, atomic on every platform we care about) and
+  compiles; concurrent callers — threads or *other processes* — wait for
+  the result file to appear instead of compiling the same binary again.
+  Waiting is bounded: if the flight holder dies (stale lock) or the wait
+  deadline passes, the waiter compiles locally rather than deadlocking —
+  single-flight is an optimization, never a liveness hazard;
+* **self-healing** — a corrupt or truncated entry (killed writer on an
+  old kernel, disk full) is counted, deleted, and recompiled.
+
+The engine accepts ``cache_dir`` and threads it into its pool workers, so
+``--jobs N`` fan-outs share one store; the fleet hands the same cache to
+every worker build, warm-spare build, and re-randomization compile.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from typing import Optional, Tuple
+
+from repro.core.config import R2CConfig
+from repro.eval.engine import CompileCache, CompileKey
+from repro.toolchain.binary import Binary
+from repro.toolchain.ir import Module
+
+#: Entry-format version, baked into filenames so a future change to the
+#: pickled layout coexists with old entries instead of tripping over them.
+ENTRY_VERSION = 1
+
+
+class DiskCompileCache(CompileCache):
+    """A :class:`CompileCache` backed by a shared on-disk store."""
+
+    def __init__(
+        self,
+        cache_dir: str,
+        *,
+        wait_seconds: float = 60.0,
+        poll_seconds: float = 0.02,
+        lock_stale_seconds: float = 300.0,
+    ) -> None:
+        super().__init__()
+        self.cache_dir = cache_dir
+        self.wait_seconds = wait_seconds
+        self.poll_seconds = poll_seconds
+        self.lock_stale_seconds = lock_stale_seconds
+        #: Entries served by unpickling a file another flight wrote.
+        self.disk_hits = 0
+        #: Entries this cache compiled and persisted.
+        self.disk_writes = 0
+        #: Times a concurrent flight was detected and waited for.
+        self.singleflight_waits = 0
+        #: Corrupt/truncated entries deleted and recompiled.
+        self.corrupt_entries = 0
+        os.makedirs(cache_dir, exist_ok=True)
+
+    # -- paths --------------------------------------------------------------
+
+    def entry_path(self, key: CompileKey) -> str:
+        fingerprint, digest = key
+        return os.path.join(
+            self.cache_dir, f"{fingerprint}-{digest}.v{ENTRY_VERSION}.bin"
+        )
+
+    def _lock_path(self, key: CompileKey) -> str:
+        return self.entry_path(key) + ".lock"
+
+    # -- disk I/O -----------------------------------------------------------
+
+    def _load_entry(self, path: str) -> Optional[Binary]:
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated or corrupt entry: delete it so the store heals.
+            self.corrupt_entries += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _store_entry(self, path: str, binary: Binary) -> None:
+        tmp = f"{path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(binary, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            self.disk_writes += 1
+        except OSError:
+            # Disk trouble degrades to in-memory caching, never to failure.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _try_lock(self, lock_path: str) -> bool:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # A stale lock (flight holder died) must not wedge the key
+            # forever: break it once it is visibly old.
+            try:
+                if time.time() - os.path.getmtime(lock_path) > self.lock_stale_seconds:
+                    os.unlink(lock_path)
+            except OSError:
+                pass
+            return False
+        except OSError:
+            # Unwritable cache dir: behave as if we hold the flight and
+            # just compile (the store silently degrades to memory-only).
+            return True
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        return True
+
+    def _unlock(self, lock_path: str) -> None:
+        try:
+            os.unlink(lock_path)
+        except OSError:
+            pass
+
+    def _wait_for_flight(self, key: CompileKey) -> Optional[Binary]:
+        """Wait (bounded) for a concurrent flight's result to land."""
+        path = self.entry_path(key)
+        lock_path = self._lock_path(key)
+        self.singleflight_waits += 1
+        deadline = time.monotonic() + self.wait_seconds
+        while time.monotonic() < deadline:
+            binary = self._load_entry(path)
+            if binary is not None:
+                return binary
+            if not os.path.exists(lock_path):
+                # Flight holder finished (or died) without a result.
+                return self._load_entry(path)
+            time.sleep(self.poll_seconds)
+        return None
+
+    # -- the cache protocol -------------------------------------------------
+
+    def get_or_compile(self, module: Module, config: R2CConfig) -> Tuple[Binary, float, bool]:
+        """Return (binary, compile_seconds, was_cache_hit).
+
+        Hit order: in-memory, on-disk, wait-for-flight, compile.  Every
+        path that avoids a compile reports ``was_cache_hit=True`` with the
+        (tiny) unpickle time as its cost.
+        """
+        key = (module.fingerprint(), config.digest())
+        binary = self._entries.get(key)
+        if binary is not None:
+            self.hits += 1
+            return binary, 0.0, True
+
+        started = time.perf_counter()
+        binary = self._load_entry(self.entry_path(key))
+        if binary is not None:
+            self.disk_hits += 1
+            self.hits += 1
+            self._entries[key] = binary
+            return binary, time.perf_counter() - started, True
+
+        lock_path = self._lock_path(key)
+        acquired = self._try_lock(lock_path)
+        if not acquired:
+            binary = self._wait_for_flight(key)
+            if binary is not None:
+                self.disk_hits += 1
+                self.hits += 1
+                self._entries[key] = binary
+                return binary, time.perf_counter() - started, True
+            # The flight never landed: compile locally below (and take the
+            # lock best-effort so the next waiter has a live holder).
+            acquired = self._try_lock(lock_path)
+        try:
+            binary, elapsed, hit = super().get_or_compile(module, config)
+            if not hit:
+                self._store_entry(self.entry_path(key), binary)
+        finally:
+            if acquired:
+                self._unlock(lock_path)
+        return binary, elapsed, hit

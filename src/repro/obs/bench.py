@@ -109,6 +109,11 @@ class BenchReport:
     #: hits — the delta of :data:`repro.machine.jit.JIT_STATS` across the
     #: grid.  Empty for backends that never lower.
     tiers: Dict[str, int] = field(default_factory=dict)
+    #: Serving-axis leg (``python -m repro fleet``): p50/p99 latency,
+    #: sustained RPS, shed/retry/swap counts, and the attacker window —
+    #: the :meth:`repro.fleet.loadgen.FleetReport.serving` section.
+    #: Empty when the artifact came from a non-fleet invocation.
+    serving: Dict[str, object] = field(default_factory=dict)
 
     def cell(self, workload: str, config: str) -> BenchCell:
         for cell in self.cells:
@@ -134,6 +139,8 @@ class BenchReport:
             data["lockstep"] = dict(self.lockstep)
         if self.tiers:
             data["tiers"] = dict(self.tiers)
+        if self.serving:
+            data["serving"] = dict(self.serving)
         return json.dumps(data, sort_keys=True, indent=2)
 
     @classmethod

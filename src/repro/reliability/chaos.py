@@ -139,6 +139,117 @@ class ChaosReport:
         )
 
 
+@dataclass
+class FleetChaosReport:
+    """The fleet chaos leg's verdict (``python -m repro chaos --fleet``)."""
+
+    backend: str
+    seed: int
+    workers: int
+    #: The surviving run's serving section (outcome tallies, swap/retry
+    #: counts, latency percentiles).
+    serving: Dict[str, object] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "backend": self.backend,
+                "seed": self.seed,
+                "workers": self.workers,
+                "ok": self.ok,
+                "violations": list(self.violations),
+                "serving": dict(self.serving),
+            },
+            sort_keys=True,
+        )
+
+
+def run_fleet_chaos(
+    *,
+    backend: str = "fast",
+    seed: int = 0,
+    workers: int = 4,
+    rps: float = 300.0,
+    duration_seconds: float = 2.0,
+) -> FleetChaosReport:
+    """Chaos the serving layer: seeded kills, hangs, attack probes, and
+    compile faults against a live fleet, asserting the robustness
+    contract — zero lost requests, every outcome typed, re-randomization
+    still completing, and the whole run bit-deterministic (same seed, two
+    runs, identical serving metrics).
+    """
+    # Imported here: the fleet sits above the reliability layer.
+    from repro.fleet.core import ChaosSpec
+    from repro.fleet.loadgen import run_fleet
+
+    report = FleetChaosReport(backend=backend, seed=seed, workers=workers)
+    spec = ChaosSpec(
+        kill_fraction=0.5,
+        hang_fraction=0.25,
+        attack_fraction=0.05,
+        compile_fault_every=2,
+        kill_waves=4,
+        hang_waves=2,
+    )
+
+    def one_run():
+        return run_fleet(
+            workers=workers,
+            rps=rps,
+            duration_seconds=duration_seconds,
+            backend=backend,
+            seed=seed,
+            chaos_spec=spec,
+        )
+
+    try:
+        first = one_run()
+    except RuntimeError as exc:
+        # The scheduler's own zero-drop contract fired.
+        report.violations.append(f"fleet lost requests under chaos: {exc}")
+        return report
+    report.serving = first.serving()
+
+    if not first.zero_lost:
+        report.violations.append(
+            f"{first.arrivals} arrivals but only "
+            f"{sum(first.outcomes.values())} typed outcomes"
+        )
+    if first.kills + first.hangs == 0:
+        report.violations.append("chaos injected no kills or hangs")
+    if first.compile_faults == 0:
+        report.violations.append("chaos injected no compile faults")
+    if first.outcomes.get("fault", 0) == 0:
+        report.violations.append("no attack probe turned into a fault outcome")
+    if first.swaps == 0:
+        report.violations.append(
+            "rolling re-randomization completed no swaps under chaos"
+        )
+    if first.restarts == 0:
+        report.violations.append("no worker came back from a crash")
+
+    second = one_run()
+    first_metrics, second_metrics = first.serving(), second.serving()
+    # Host-side cache telemetry is environmental; everything else must
+    # be bit-identical between the two runs.
+    first_metrics.pop("cache"), second_metrics.pop("cache")
+    if first_metrics != second_metrics:
+        diverged = [
+            key
+            for key in first_metrics
+            if first_metrics[key] != second_metrics.get(key)
+        ]
+        report.violations.append(
+            f"chaos run is not deterministic; diverging keys: {diverged}"
+        )
+    return report
+
+
 def run_chaos(
     *,
     jobs: int = 2,

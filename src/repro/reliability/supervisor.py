@@ -36,12 +36,30 @@ from typing import List, Optional, Tuple
 
 from repro.attacks.scenario import AttackFn, ProbeResult, VictimSession
 from repro.core.config import R2CConfig
+from repro.errors import ExecutionLimitExceeded
 from repro.reliability.crashreport import CrashReport
 
 #: Probe status reported while the service is down (crashed and not
 #: restarted).  Attack loops treat any non-"success" status as a failed
 #: probe, so existing attacks need no changes to face a dead service.
 STATUS_UNAVAILABLE = "unavailable"
+
+#: Probe status for a worker that blew its per-probe deadline (hung).
+STATUS_TIMED_OUT = "timed-out"
+
+
+def backoff_delay(consecutive_crashes: int, base: float, cap: float) -> float:
+    """The capped exponential restart delay after the Nth consecutive crash.
+
+    Monotone non-decreasing in ``consecutive_crashes`` and never above
+    ``cap`` — the schedule the supervisor accounts against the virtual
+    clock and the fleet sleeps through before reviving a worker.  Returns
+    0.0 for ``consecutive_crashes <= 0`` (no crash, no delay).
+    """
+    if consecutive_crashes <= 0:
+        return 0.0
+    exponent = min(consecutive_crashes - 1, 30)
+    return min(cap, base * (2**exponent))
 
 
 class RestartPolicy(str, enum.Enum):
@@ -73,6 +91,9 @@ class SupervisorStats:
     restarts: int = 0
     #: Probes refused because the service was down.
     denials: int = 0
+    #: Probes that blew the per-probe deadline (hung worker, triaged like
+    #: a crash).
+    timeouts: int = 0
     #: Probe index of the first trap-trip report.
     first_trap_probe: Optional[int] = None
     #: Probe index at which the crash-storm threshold was first crossed.
@@ -98,6 +119,15 @@ class SupervisedSession(VictimSession):
     stays down (every further probe is denied).  ``backoff_base`` /
     ``backoff_cap`` shape the per-crash exponential backoff, accounted in
     :attr:`SupervisorStats.backoff_seconds` against a virtual clock.
+
+    ``probe_deadline_instructions`` is the per-probe deadline against the
+    same virtual clock the backends already enforce: it tightens the
+    session's instruction budget, and a probe that exhausts it is
+    classified ``"timed-out"`` and triaged exactly like a crash (report,
+    backoff, restart-or-down) — a hung worker must not block the
+    supervisor forever.  This reuses the engine's hung-worker semantics
+    (the engine maps the same budget exhaustion to its ``timeout``
+    outcome).
     """
 
     def __init__(
@@ -109,6 +139,7 @@ class SupervisedSession(VictimSession):
         backoff_base: float = 0.5,
         backoff_cap: float = 60.0,
         crash_storm_threshold: int = 8,
+        probe_deadline_instructions: Optional[int] = None,
         **session_kwargs,
     ):
         self.policy = RestartPolicy.parse(policy)
@@ -116,7 +147,10 @@ class SupervisedSession(VictimSession):
             "rerandomize_on_restart",
             self.policy is RestartPolicy.RESTART_RERANDOMIZE,
         )
+        if probe_deadline_instructions is not None:
+            session_kwargs.setdefault("instruction_budget", probe_deadline_instructions)
         super().__init__(config, **session_kwargs)
+        self.probe_deadline_instructions = probe_deadline_instructions
         self.max_restarts = max_restarts
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -141,9 +175,10 @@ class SupervisedSession(VictimSession):
     def probe(self, hook: AttackFn, *, attacker_seed: int = 0):
         """One probe against the *supervised* service.
 
-        Returns (status, result) exactly like the parent, with one more
-        status: ``"unavailable"`` when the service is down (crashed under
-        policy ``none``, or the restart budget is spent).
+        Returns (status, result) exactly like the parent, with two more
+        statuses: ``"unavailable"`` when the service is down (crashed
+        under policy ``none``, or the restart budget is spent), and
+        ``"timed-out"`` when a per-probe deadline caught a hung worker.
         """
         self.stats.probes += 1
         if self._down:
@@ -154,6 +189,15 @@ class SupervisedSession(VictimSession):
             # The worker survived: the storm, if any, has broken.
             self._consecutive_crashes = 0
             return probe.status, probe.result
+        if self.probe_deadline_instructions is not None and isinstance(
+            probe.exception, ExecutionLimitExceeded
+        ):
+            # The deadline fired: a hung worker, not a fault.  Triage it
+            # like a crash (report + backoff + restart-or-down) so it
+            # cannot wedge the service, but report it distinctly.
+            probe.status = STATUS_TIMED_OUT
+            probe.timed_out = True
+            self.stats.timeouts += 1
         self._on_crash(probe)
         return probe.status, probe.result
 
@@ -182,8 +226,7 @@ class SupervisedSession(VictimSession):
         # Exponential, capped backoff against the virtual clock: each
         # consecutive crash doubles the delay a real supervisor would
         # impose before the respawn (accounted, not slept).
-        exponent = min(self._consecutive_crashes - 1, 30)
-        self.stats.backoff_seconds += min(
-            self.backoff_cap, self.backoff_base * (2 ** exponent)
+        self.stats.backoff_seconds += backoff_delay(
+            self._consecutive_crashes, self.backoff_base, self.backoff_cap
         )
         self.stats.restarts += 1

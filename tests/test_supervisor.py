@@ -9,6 +9,7 @@ restart defeats the Blind ROP probe loop that a plain fork-server
 """
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.attacks import ALL_ATTACKS
 from repro.attacks.outcomes import AttackOutcome
@@ -22,6 +23,7 @@ from repro.reliability import (
     RestartPolicy,
     SupervisedSession,
 )
+from repro.reliability.supervisor import backoff_delay
 
 WILD_ADDRESS = 0xDEAD_0000_0000
 
@@ -159,6 +161,76 @@ def test_trap_trip_sets_detection_latency():
     assert session.stats.first_trap_probe == 2
     assert session.stats.detection_latency == 2
     assert session.reports[0].detected
+
+
+@given(
+    crashes=st.integers(min_value=0, max_value=10_000),
+    base=st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+    cap=st.floats(min_value=0.001, max_value=600.0, allow_nan=False),
+)
+def test_backoff_schedule_monotone_and_capped(crashes, base, cap):
+    """The restart backoff schedule is monotone non-decreasing in the
+    consecutive-crash count and never exceeds the cap."""
+    here = backoff_delay(crashes, base, cap)
+    after = backoff_delay(crashes + 1, base, cap)
+    assert 0.0 <= here <= cap
+    assert after >= here
+    # Huge counts stay finite and pinned to the cap (no overflow).
+    assert backoff_delay(crashes + 10**9, base, cap) == cap
+
+
+def test_crash_storm_threshold_off_by_one():
+    """Exactly ``threshold`` consecutive crashes detect; ``threshold - 1``
+    followed by a clean probe never does."""
+    threshold = 4
+
+    storming = SupervisedSession(
+        R2CConfig.baseline(), policy="restart-same", crash_storm_threshold=threshold
+    )
+    for _ in range(threshold - 1):
+        storming.probe(wild_read)
+    assert storming.stats.first_storm_probe is None  # one short of the storm
+    storming.probe(wild_read)
+    assert storming.stats.first_storm_probe == threshold
+
+    broken = SupervisedSession(
+        R2CConfig.baseline(), policy="restart-same", crash_storm_threshold=threshold
+    )
+    for _ in range(threshold - 1):
+        broken.probe(wild_read)
+    broken.probe(lambda view: None)  # the storm breaks at threshold - 1
+    for _ in range(threshold - 1):
+        broken.probe(wild_read)
+    assert broken.stats.first_storm_probe is None
+    assert broken.stats.crashes == 2 * (threshold - 1)
+
+
+def test_probe_deadline_times_out_hung_worker():
+    """A per-probe deadline triages a hung worker like a crash: the probe
+    reports "timed-out", the supervisor restarts, the service stays up."""
+    session = SupervisedSession(
+        R2CConfig.baseline(),
+        policy="restart-same",
+        probe_deadline_instructions=50,
+    )
+    status, result = session.probe(lambda view: None)  # the workload "hangs"
+    assert status == "timed-out" and result is None
+    assert session.stats.timeouts == 1
+    assert session.stats.crashes == 1  # triaged like a crash...
+    assert session.stats.restarts == 1
+    assert session.available  # ...and the service came back
+    assert len(session.reports) == 1
+
+
+def test_no_deadline_keeps_budget_exhaustion_a_crash():
+    """Without an armed deadline the legacy classification stands: budget
+    exhaustion is just a crash, never "timed-out"."""
+    session = SupervisedSession(
+        R2CConfig.baseline(), policy="restart-same", instruction_budget=50
+    )
+    status, _ = session.probe(lambda view: None)
+    assert status == "crashed"
+    assert session.stats.timeouts == 0
 
 
 # ---------------------------------------------------------------------------
