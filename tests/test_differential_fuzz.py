@@ -1,0 +1,580 @@
+"""Cross-backend differential fuzzing.
+
+Two seeded generators — one emitting machine-level instruction streams,
+one emitting IR modules compiled under random R2C configs — drive every
+registered backend (``reference``, ``fast``, ``jit`` with tier 3 on)
+over the same program and assert the observations are byte-identical:
+the full :class:`ExecutionResult` (instructions, cycles, mem ops,
+i-cache hits/misses, branch/call/ret/trap counts, tag attribution,
+opcode counts, output), the fault class, message and resting ``rip`` for
+crashing runs, the final register file, and the shadow stack.
+
+Three layers:
+
+* ``test_corpus_*`` — the committed regression corpus under
+  ``tests/corpus/``: pinned seeds that once exercised an interesting
+  path (each fault class, loop traces, guard exits, budget exhaustion
+  mid-loop).  These always run and never change meaning.
+* ``test_fuzz_machine_seeded`` / ``test_fuzz_ir_seeded`` — the bulk
+  seeded sweep.  ``REPRO_FUZZ_CASES`` scales the machine-level case
+  count (the IR sweep runs a quarter of it); CI's fuzz leg sets it to
+  500.
+* ``test_fuzz_hypothesis_explore`` — a hypothesis-driven seed explorer
+  (derandomized, no database) for shrink-assisted local exploration.
+
+A diverging case is minimized (machine level: greedy instruction
+deletion preserving the divergence) and dumped as a JSON repro under
+``$REPRO_FUZZ_DUMP`` (default ``fuzz-failures/``) before the assertion
+propagates — CI uploads that directory as the failure artifact.  Pin the
+dumped seed as a corpus file once the divergence is fixed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import compile_module
+from repro.core.config import R2CConfig
+from repro.machine.isa import Imm, Instruction, Mem, Op, Reg
+from repro.machine.loader import load_binary
+from repro.toolchain.builder import IRBuilder
+
+from tests.test_backends import BACKENDS, DATA, assemble, run_one_backend
+
+I = Instruction
+
+#: Instruction budget for every fuzz run: generated loops retire at most
+#: a few thousand instructions, so a clean run never trips this — but a
+#: generator bug (or a divergence in branch semantics) does, and budget
+#: exhaustion itself must then be backend-identical.
+BUDGET = 30_000
+
+FUZZ_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "24"))
+DUMP_DIR = Path(os.environ.get("REPRO_FUZZ_DUMP", "fuzz-failures"))
+CORPUS = Path(__file__).parent / "corpus"
+
+#: General-purpose registers the generators draw from.  RBP is reserved
+#: as the data-section base pointer, RSP is never touched directly, and
+#: R8..R11 are reserved for loop counters so a loop body cannot clobber
+#: its own induction variable.
+GPRS = (Reg.RAX, Reg.RBX, Reg.RCX, Reg.RDX, Reg.RSI, Reg.RDI)
+COUNTERS = (Reg.R8, Reg.R9, Reg.R10, Reg.R11)
+
+ARITH_RR = (Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.IMUL)
+JCCS = (Op.JE, Op.JNE, Op.JL, Op.JLE, Op.JG, Op.JGE)
+
+
+# ---------------------------------------------------------------------------
+# The differential oracle.
+# ---------------------------------------------------------------------------
+
+
+def differential(make_process, **cpu_kwargs):
+    """Run every registered backend; assert byte-identical observations
+    against ``reference``.  Returns the reference observation."""
+    outcomes = {
+        backend: run_one_backend(make_process, backend, **cpu_kwargs)
+        for backend in BACKENDS
+    }
+    reference = outcomes["reference"]
+    for backend, outcome in outcomes.items():
+        assert outcome == reference, (
+            f"backend {backend!r} diverged from reference"
+        )
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# Machine-level generator: seeded instruction streams.
+#
+# A program spec is a list of ``(op, a, b)`` entries where an operand
+# may be the placeholder ``("L", index)`` — "absolute address of the
+# entry at ``index``" — resolved by fix-point assembly (immediate widths
+# shift addresses, which can shift widths again).
+# ---------------------------------------------------------------------------
+
+Entry = Tuple[Op, object, object]
+
+
+def _gen_simple(rng: random.Random, spec: List[Entry]) -> None:
+    """One straight-line instruction: arithmetic, memory via the RBP
+    data base, a balanced push/pop pair, or a flag-setting compare."""
+    choice = rng.random()
+    reg = rng.choice(GPRS)
+    if choice < 0.40:
+        if rng.random() < 0.5:
+            spec.append((rng.choice(ARITH_RR), reg, rng.choice(GPRS)))
+        else:
+            spec.append((rng.choice(ARITH_RR), reg, Imm(rng.randrange(1 << 16))))
+    elif choice < 0.55:
+        # Shift counts stay immediate and < 64: register-count shifts
+        # would make the magnitude of intermediate values seed-dependent
+        # in ways that slow Python big-int paths, not find bugs.
+        spec.append((rng.choice((Op.SHL, Op.SHR)), reg, Imm(rng.randrange(64))))
+    elif choice < 0.75:
+        offset = 8 * rng.randrange(16)
+        if rng.random() < 0.5:
+            spec.append((Op.MOV, reg, Mem(Reg.RBP, offset)))
+        else:
+            spec.append((Op.MOV, Mem(Reg.RBP, offset), rng.choice(GPRS)))
+    elif choice < 0.85:
+        spec.append((Op.PUSH, reg, None))
+        spec.append((Op.POP, rng.choice(GPRS), None))
+    elif choice < 0.95:
+        spec.append((Op.CMP, reg, Imm(rng.randrange(1 << 8))))
+        spec.append((rng.choice(SETCCS), rng.choice(GPRS), None))
+    else:
+        spec.append((Op.NEG, reg, None))
+
+
+SETCCS = (Op.SETE, Op.SETNE, Op.SETL, Op.SETG)
+
+
+def _gen_loop(rng: random.Random, spec: List[Entry], counter: Reg) -> None:
+    """A counted loop: enough iterations to cross the jit's promotion
+    and trace thresholds, so compiled loop traces run under the fuzzer
+    (including their side exits when the trip count ends the loop)."""
+    spec.append((Op.MOV, counter, Imm(rng.randrange(3, 41))))
+    head = len(spec)
+    for _ in range(rng.randrange(1, 7)):
+        _gen_simple(rng, spec)
+    spec.append((Op.SUB, counter, Imm(1)))
+    spec.append((Op.CMP, counter, Imm(0)))
+    spec.append((Op.JG, ("L", head), None))
+
+
+def _gen_diamond(rng: random.Random, spec: List[Entry]) -> None:
+    """A forward conditional diamond; both arms join."""
+    spec.append((Op.CMP, rng.choice(GPRS), Imm(rng.randrange(1 << 8))))
+    jcc_at = len(spec)
+    spec.append((rng.choice(JCCS), None, None))  # patched to the else arm
+    for _ in range(rng.randrange(1, 4)):
+        _gen_simple(rng, spec)
+    jmp_at = len(spec)
+    spec.append((Op.JMP, None, None))  # patched to the join
+    else_at = len(spec)
+    for _ in range(rng.randrange(1, 4)):
+        _gen_simple(rng, spec)
+    join_at = len(spec)
+    spec.append((Op.NOP, None, None))
+    spec[jcc_at] = (spec[jcc_at][0], ("L", else_at), None)
+    spec[jmp_at] = (Op.JMP, ("L", join_at), None)
+
+
+def _gen_hazard(rng: random.Random, spec: List[Entry]) -> None:
+    """An instruction that may fault depending on generated state —
+    fault class, message, rip and partial counters must all match."""
+    choice = rng.random()
+    if choice < 0.4:
+        # Divide by a register that may well hold zero.
+        spec.append((Op.IDIV, rng.choice(GPRS), rng.choice(GPRS)))
+    elif choice < 0.7:
+        # Load through a register: usually a wild dereference.
+        spec.append((Op.MOV, rng.choice(GPRS), Mem(rng.choice(GPRS))))
+    else:
+        spec.append((Op.TRAP, None, None))
+
+
+def machine_spec(seed: int) -> List[Entry]:
+    """The seeded machine-level program for ``seed``."""
+    rng = random.Random(seed)
+    spec: List[Entry] = [(Op.MOV, Reg.RBP, Imm(DATA))]
+    for reg in GPRS:
+        spec.append((Op.MOV, reg, Imm(rng.randrange(1 << 32))))
+    # Reserved slot: becomes a CALL to the trailing leaf (see below), or
+    # stays a NOP.  A placeholder avoids insertion, which would shift
+    # every label reference recorded after this point.
+    call_slot = len(spec)
+    spec.append((Op.NOP, None, None))
+    for _ in range(rng.randrange(2, 5)):
+        spec.append((Op.MOV, Mem(Reg.RBP, 8 * rng.randrange(16)), rng.choice(GPRS)))
+
+    counters = list(COUNTERS)
+    constructs = rng.randrange(2, 6)
+    for _ in range(constructs):
+        choice = rng.random()
+        if choice < 0.40 and counters:
+            _gen_loop(rng, spec, counters.pop())
+        elif choice < 0.60:
+            _gen_diamond(rng, spec)
+        elif choice < 0.90:
+            for _ in range(rng.randrange(1, 5)):
+                _gen_simple(rng, spec)
+        else:
+            _gen_hazard(rng, spec)
+
+    # An occasional monomorphic indirect jump over a nop sled — the
+    # tier-3 specializer guards exactly this shape.
+    if rng.random() < 0.35:
+        reg = rng.choice(GPRS)
+        jmp_at = len(spec)
+        spec.append((Op.MOV, reg, None))  # patched: address of the join
+        spec.append((Op.JMP, reg, None))
+        for _ in range(rng.randrange(1, 3)):
+            spec.append((Op.NOP, None, None))
+        join_at = len(spec)
+        spec.append((Op.NOP, None, None))
+        spec[jmp_at] = (Op.MOV, reg, ("L", join_at))
+
+    for reg in GPRS[: rng.randrange(1, len(GPRS))]:
+        spec.append((Op.OUT, reg, None))
+    spec.append((Op.EXIT, Imm(0), None))
+
+    # A call target after the EXIT: a short arithmetic leaf, wired to
+    # the reserved pre-body slot (calling from straight-line code, never
+    # mid-loop: an unbalanced push inside a loop body would misalign
+    # every later iteration, which is legal but drowns the sweep in
+    # StackMisaligned cases).
+    if rng.random() < 0.5:
+        leaf_at = len(spec)
+        for _ in range(rng.randrange(1, 4)):
+            spec.append((rng.choice(ARITH_RR), rng.choice(GPRS), Imm(rng.randrange(256))))
+        spec.append((Op.RET, None, None))
+        spec[call_slot] = (Op.CALL, ("L", leaf_at), None)
+    return spec
+
+
+def _label_targets(spec: List[Entry]) -> set:
+    targets = set()
+    for op, a, b in spec:
+        for operand in (a, b):
+            if isinstance(operand, tuple) and operand[0] == "L":
+                targets.add(operand[1])
+    return targets
+
+
+def build_spec(spec: List[Entry]):
+    """Fix-point assemble a spec; returns ``(process, addresses)``."""
+    addresses: List[int] = [0] * len(spec)
+    process = None
+    for _ in range(8):
+        instrs = []
+        for op, a, b in spec:
+            ra = Imm(addresses[a[1]]) if isinstance(a, tuple) else a
+            rb = Imm(addresses[b[1]]) if isinstance(b, tuple) else b
+            if ra is None:
+                instrs.append(I(op))
+            elif rb is None:
+                instrs.append(I(op, ra))
+            else:
+                instrs.append(I(op, ra, rb))
+        process, new_addresses = assemble(instrs)
+        if new_addresses == addresses:
+            break
+        addresses = new_addresses
+    return process, addresses
+
+
+def build_process(spec: List[Entry]):
+    """Fix-point assemble a spec into a fresh process."""
+    return build_spec(spec)[0]
+
+
+# ---------------------------------------------------------------------------
+# Divergence minimization and repro dumping.
+# ---------------------------------------------------------------------------
+
+
+def _diverges(spec: List[Entry]) -> bool:
+    try:
+        differential(lambda: build_process(spec), instruction_budget=BUDGET)
+    except AssertionError:
+        return True
+    return False
+
+
+def _drop(spec: List[Entry], index: int) -> List[Entry]:
+    """Remove entry ``index``, shifting label references above it."""
+    out: List[Entry] = []
+    for position, (op, a, b) in enumerate(spec):
+        if position == index:
+            continue
+        def shift(operand):
+            if isinstance(operand, tuple) and operand[0] == "L":
+                target = operand[1]
+                return ("L", target - 1 if target > index else target)
+            return operand
+        out.append((op, shift(a), shift(b)))
+    return out
+
+
+def minimize_machine(spec: List[Entry], budget: int = 200) -> List[Entry]:
+    """Greedy delta-debugging: delete one instruction at a time while
+    the cross-backend divergence persists."""
+    attempts = 0
+    changed = True
+    while changed and attempts < budget:
+        changed = False
+        targets = _label_targets(spec)
+        for index in range(len(spec)):
+            if index in targets or spec[index][0] is Op.EXIT:
+                continue
+            attempts += 1
+            if attempts >= budget:
+                break
+            trial = _drop(spec, index)
+            if _diverges(trial):
+                spec = trial
+                changed = True
+                break
+    return spec
+
+
+def _dump_repro(kind: str, seed: int, spec: Optional[List[Entry]] = None) -> Path:
+    DUMP_DIR.mkdir(parents=True, exist_ok=True)
+    payload = {"kind": kind, "seed": seed}
+    if spec is not None:
+        payload["minimized"] = [
+            [op.name, repr(a), repr(b)] for op, a, b in spec
+        ]
+    path = DUMP_DIR / f"{kind}-{seed}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def check_machine_seed(seed: int, budget: int = BUDGET) -> None:
+    """Differential over the machine-level program for ``seed``.
+
+    The primary run is *lean* (no opcode counting, no tag attribution) —
+    that is the only variant the jit lowers to tier 3, so loop traces
+    and superblock guards actually execute.  Every fourth seed also runs
+    the rich variant for opcode-count and tag parity."""
+    spec = machine_spec(seed)
+    try:
+        differential(lambda: build_process(spec), instruction_budget=budget)
+        if seed % 4 == 0:
+            differential(
+                lambda: build_process(spec),
+                instruction_budget=budget,
+                count_opcodes=True,
+                attribute_tags=True,
+            )
+    except AssertionError:
+        minimized = minimize_machine(spec)
+        path = _dump_repro("machine", seed, minimized)
+        raise AssertionError(
+            f"machine seed {seed} diverged; minimized repro at {path}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# IR-level generator: random modules under random R2C configs.
+# ---------------------------------------------------------------------------
+
+
+def random_config(rng: random.Random) -> R2CConfig:
+    choice = rng.randrange(4)
+    if choice == 0:
+        return R2CConfig.baseline()
+    if choice == 1:
+        return R2CConfig.full(
+            seed=rng.randrange(1000), btra_mode=rng.choice(("avx", "push"))
+        )
+    return R2CConfig(
+        seed=rng.randrange(1000),
+        opt_level=rng.randrange(2),
+        enable_btra=rng.random() < 0.6,
+        btra_mode=rng.choice(("avx", "push")),
+        enable_btdp=rng.random() < 0.5,
+        enable_nop_insertion=rng.random() < 0.5,
+        enable_prolog_traps=rng.random() < 0.3,
+        enable_stack_slot_shuffle=rng.random() < 0.5,
+        enable_regalloc_shuffle=rng.random() < 0.5,
+        enable_function_shuffle=rng.random() < 0.5,
+        enable_global_shuffle=rng.random() < 0.5,
+    )
+
+
+def _ir_expr(rng: random.Random, fn, atoms: List[str], depth: int = 0) -> str:
+    """A small random arithmetic expression over ``atoms``."""
+    if depth >= 3 or rng.random() < 0.35:
+        if atoms and rng.random() < 0.7:
+            return rng.choice(atoms)
+        return fn.const(rng.randrange(1 << 12))
+    a = _ir_expr(rng, fn, atoms, depth + 1)
+    b = _ir_expr(rng, fn, atoms, depth + 1)
+    op = rng.choice(("add", "sub", "mul", "band", "bor", "bxor"))
+    return getattr(fn, op)(a, b)
+
+
+def ir_module(seed: int):
+    """The seeded IR module for ``seed``: leaves (direct and indirect
+    call targets), globals, counted loops, diamonds, output."""
+    rng = random.Random(seed)
+    ir = IRBuilder(f"fuzz{seed}")
+    nglobals = rng.randrange(0, 3)
+    for k in range(nglobals):
+        init = tuple(rng.randrange(100) for _ in range(rng.randrange(1, 4)))
+        ir.global_var(f"g{k}", size_words=len(init), init=init)
+    globals_ = [f"g{k}" for k in range(nglobals)]
+
+    leaves = []
+    for k in range(rng.randrange(1, 4)):
+        name = f"leaf{k}"
+        fn = ir.function(name, params=["a", "b"])
+        fn.ret(_ir_expr(rng, fn, [fn.param("a"), fn.param("b")]))
+        leaves.append(name)
+
+    main = ir.function("main")
+    main.local("acc")
+    main.store_local("acc", rng.randrange(100))
+    label = 0
+
+    def fresh() -> str:
+        nonlocal label
+        label += 1
+        return f"b{label}"
+
+    for _ in range(rng.randrange(2, 6)):
+        choice = rng.random()
+        acc = main.load_local("acc")
+        if choice < 0.30:
+            # A counted loop whose body folds a leaf call or arithmetic
+            # into the accumulator — hot enough for tier 3 to trace.
+            ivar = f"i{label}"
+            main.local(ivar)
+            main.store_local(ivar, 0)
+            loop, body, done = fresh(), fresh(), fresh()
+            trip = rng.randrange(3, 31)
+            main.br(loop)
+            main.new_block(loop)
+            cond = main.cmp("lt", main.load_local(ivar), trip)
+            main.cbr(cond, body, done)
+            main.new_block(body)
+            i = main.load_local(ivar)
+            if rng.random() < 0.5:
+                value = main.call(rng.choice(leaves), [main.load_local("acc"), i])
+            else:
+                value = _ir_expr(rng, main, [main.load_local("acc"), i])
+            main.store_local("acc", value)
+            main.store_local(ivar, main.add(main.load_local(ivar), 1))
+            main.br(loop)
+            main.new_block(done)
+        elif choice < 0.50:
+            then, other, join = fresh(), fresh(), fresh()
+            pred = rng.choice(("lt", "le", "gt", "ge", "eq", "ne"))
+            cond = main.cmp(pred, acc, rng.randrange(1 << 8))
+            main.cbr(cond, then, other)
+            main.new_block(then)
+            main.store_local("acc", _ir_expr(rng, main, [main.load_local("acc")]))
+            main.br(join)
+            main.new_block(other)
+            main.store_local("acc", main.bxor(main.load_local("acc"), 0x5A5A))
+            main.br(join)
+            main.new_block(join)
+        elif choice < 0.65:
+            leaf = rng.choice(leaves)
+            if rng.random() < 0.5:
+                value = main.call(leaf, [acc, rng.randrange(1 << 8)])
+            else:
+                value = main.icall(main.func_addr(leaf), [acc, rng.randrange(1 << 8)])
+            main.store_local("acc", value)
+        elif choice < 0.85 and globals_:
+            name = rng.choice(globals_)
+            main.store_local("acc", main.add(acc, main.load_global(name)))
+            if rng.random() < 0.5:
+                main.store_global(name, main.load_local("acc"))
+        else:
+            main.store_local("acc", _ir_expr(rng, main, [acc]))
+    main.out(main.load_local("acc"))
+    main.ret(0)
+    return ir.finish()
+
+
+def check_ir_seed(seed: int) -> None:
+    rng = random.Random(~seed)
+    config = random_config(rng)
+    module = ir_module(seed)
+    binary = compile_module(module, config)
+    load_seed = rng.randrange(1, 100)
+
+    def make():
+        process = load_binary(binary, seed=load_seed)
+        process.register_service("attack_hook", lambda proc, cpu: 0)
+        return process
+
+    try:
+        # Lean first — the variant tier 3 compiles traces for — then the
+        # rich variant for opcode-count and tag-attribution parity.
+        outcome = differential(make, instruction_budget=BUDGET)
+        assert outcome["error"] is None, outcome["error"]
+        differential(
+            make,
+            instruction_budget=BUDGET,
+            count_opcodes=True,
+            attribute_tags=True,
+        )
+    except AssertionError:
+        path = _dump_repro("ir", seed)
+        raise AssertionError(f"ir seed {seed} diverged; repro at {path}")
+
+
+# ---------------------------------------------------------------------------
+# The committed regression corpus: pinned seeds, always run.
+# ---------------------------------------------------------------------------
+
+
+def _corpus_entries():
+    if not CORPUS.is_dir():
+        return []
+    return sorted(CORPUS.glob("*.json"), key=lambda p: p.name)
+
+
+@pytest.mark.parametrize(
+    "path", _corpus_entries(), ids=lambda p: p.stem
+)
+def test_corpus_replay(path):
+    entry = json.loads(path.read_text())
+    if entry["kind"] == "machine":
+        check_machine_seed(entry["seed"], entry.get("budget", BUDGET))
+    else:
+        check_ir_seed(entry["seed"])
+
+
+def test_corpus_is_not_empty():
+    assert len(_corpus_entries()) >= 8
+
+
+# ---------------------------------------------------------------------------
+# The bulk seeded sweep (REPRO_FUZZ_CASES scales it; CI runs 500).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(FUZZ_CASES))
+def test_fuzz_machine_seeded(seed):
+    check_machine_seed(seed)
+
+
+@pytest.mark.parametrize("seed", range(max(6, FUZZ_CASES // 4)))
+def test_fuzz_ir_seeded(seed):
+    check_ir_seed(seed)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis exploration: derandomized so CI is reproducible, no local
+# example database, seeds shrink toward small values on failure.
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=int(os.environ.get("REPRO_FUZZ_HYP", "15")),
+    deadline=None,
+    database=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1), machine=st.booleans())
+def test_fuzz_hypothesis_explore(seed, machine):
+    if machine:
+        check_machine_seed(seed)
+    else:
+        check_ir_seed(seed)

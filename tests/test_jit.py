@@ -18,20 +18,23 @@ import pytest
 
 from repro.core.compiler import compile_module
 from repro.core.config import R2CConfig
+from repro.errors import ExecutionLimitExceeded
 from repro.machine.blocks import recover_blocks
 from repro.machine.costs import get_costs
 from repro.machine.cpu import CPU
 from repro.machine.debugger import Debugger
-from repro.machine.isa import Imm, Instruction, Op, Reg
+from repro.machine.isa import Imm, Instruction, Mem, Op, Reg
 from repro.machine.jit import (
     _text_fits_icache,
     jit_stats_snapshot,
 )
 from repro.machine.loader import load_binary
+from repro.machine.memory import Perm
 from repro.machine.uops import get_bound_program
 from repro.toolchain.builder import IRBuilder
 
-from tests.test_backends import assemble
+from tests.test_backends import DATA, HEAP, assemble, run_one_backend
+from tests.test_differential_fuzz import build_spec
 
 I = Instruction
 
@@ -143,6 +146,203 @@ def test_single_stepping_drives_the_deopt_path():
     after = jit_stats_snapshot()
     assert after["deopts"] > before["deopts"]
     assert debugger.result.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# Tier 3 deopt contract: mid-trace events — a breakpoint landing inside
+# a compiled loop trace, budget exhaustion mid-iteration, a fetch-epoch
+# bump between back edges, and a guard-failure storm — must all hand
+# execution back to the interpreter with the exact fast-backend stream.
+# ---------------------------------------------------------------------------
+
+
+def hot_loop_spec(iterations=80):
+    """A machine-level counted loop, hot enough to compile a tier-3 loop
+    trace within one run.  Returns (spec, head_index, body_index)."""
+    spec = [
+        (Op.MOV, Reg.RAX, Imm(0)),
+        (Op.MOV, Reg.RBP, Imm(DATA)),
+        (Op.MOV, Reg.RCX, Imm(iterations)),
+    ]
+    head = len(spec)
+    spec.append((Op.ADD, Reg.RAX, Imm(3)))
+    body = len(spec)
+    spec.append((Op.MOV, Mem(Reg.RBP, 8), Reg.RAX))
+    spec.append((Op.MOV, Reg.RBX, Mem(Reg.RBP, 8)))
+    spec.append((Op.SUB, Reg.RCX, Imm(1)))
+    spec.append((Op.CMP, Reg.RCX, Imm(0)))
+    spec.append((Op.JG, ("L", head), None))
+    spec.append((Op.OUT, Reg.RAX, None))
+    spec.append((Op.EXIT, Imm(0), None))
+    spec = [entry if len(entry) == 3 else (*entry, None) for entry in spec]
+    return spec, head, body
+
+
+def test_breakpoint_inside_compiled_loop_trace():
+    """Phase 1 runs a big step slice at full compiled speed (the loop
+    trace executes); phase 2 sets a breakpoint on an address *inside*
+    the trace body and continues — the trace prolog must reject its
+    allowance, deopt, and the stepped stream must equal ``fast``'s."""
+    spec, _head, body = hot_loop_spec()
+    body_addr = build_spec(spec)[1][body]
+    observed = {}
+    for backend in ("fast", "jit"):
+        process, addresses = build_spec(spec)
+        cpu = CPU(process, get_costs("epyc-rome"), backend=backend)
+        debugger = Debugger(cpu)
+        before = jit_stats_snapshot()
+        debugger.step(300)
+        mid = jit_stats_snapshot()
+        debugger.add_breakpoint(addresses[body])
+        stream = []
+        assert not debugger.cont()
+        stream.append(("stop", cpu.rip, list(cpu.regs)))
+        for _ in range(30):
+            if debugger.step(1):
+                break
+            stream.append(cpu.rip)
+        debugger.remove_breakpoint(addresses[body])
+        finished = debugger.finished
+        while not finished:
+            finished = debugger.cont()
+        observed[backend] = {
+            "stream": stream,
+            "result": dataclasses.asdict(debugger.result),
+            "rip": cpu.rip,
+            "output": list(process.output),
+        }
+        if backend == "jit":
+            # The big slice really did compile and enter a loop trace.
+            assert mid["loop_traces"] > before["loop_traces"]
+    assert observed["jit"] == observed["fast"]
+    # The stop parked exactly on the mid-trace breakpoint address.
+    assert observed["jit"]["stream"][0][1] == body_addr
+
+
+def test_budget_exhaustion_mid_trace_iteration():
+    """An instruction budget landing mid-iteration: the loop trace must
+    refuse the iteration it cannot afford, deopt, and let the
+    interpreter raise ExecutionLimitExceeded at the exact instruction."""
+    spec, head, _body = hot_loop_spec()
+    body_len = 6  # ADD through JG
+    budget = 3 + 50 * body_len + 2  # setup + 50 iterations + 2 instrs
+    before = jit_stats_snapshot()
+    outcomes = {
+        backend: run_one_backend(
+            lambda: build_spec(spec)[0], backend, instruction_budget=budget
+        )
+        for backend in ("reference", "fast", "jit")
+    }
+    after = jit_stats_snapshot()
+    assert after["loop_traces"] > before["loop_traces"]
+    assert outcomes["jit"] == outcomes["reference"]
+    assert outcomes["fast"] == outcomes["reference"]
+    assert outcomes["jit"]["error"][0] is ExecutionLimitExceeded
+    assert outcomes["jit"]["result"]["instructions"] == budget + 1
+
+
+def test_fetch_epoch_bump_between_back_edges():
+    """A CALLRT service between inner-loop activations bumps the memory
+    permission epoch (the re-randomization signal).  The installed
+    trace's prolog must reject the stale epoch; the driver revalidates
+    every constituent slice and re-enters the same compiled trace."""
+    spec = [
+        (Op.MOV, Reg.RAX, Imm(0)),
+        (Op.MOV, Reg.RDI, Imm(4)),  # outer trips
+    ]
+    outer = len(spec)
+    spec.append((Op.MOV, Reg.RCX, Imm(40)))  # inner trips
+    inner = len(spec)
+    spec.append((Op.ADD, Reg.RAX, Imm(1)))
+    spec.append((Op.SUB, Reg.RCX, Imm(1)))
+    spec.append((Op.CMP, Reg.RCX, Imm(0)))
+    spec.append((Op.JG, ("L", inner)))
+    spec.append((Op.CALLRT, Imm(symbol="bump")))
+    spec.append((Op.SUB, Reg.RDI, Imm(1)))
+    spec.append((Op.CMP, Reg.RDI, Imm(0)))
+    spec.append((Op.JG, ("L", outer)))
+    spec.append((Op.OUT, Reg.RAX))
+    spec.append((Op.EXIT, Imm(0)))
+    spec = [entry if len(entry) == 3 else (*entry, None) for entry in spec]
+
+    def make():
+        process, _ = build_spec(spec)
+
+        def bump(proc, cpu):
+            # Same permissions, new epoch: exactly what a benign
+            # re-randomization step looks like to the fetch path.
+            proc.memory.protect(HEAP, 4096, Perm.RW)
+            return 0
+
+        process.register_service("bump", bump)
+        return process
+
+    before = jit_stats_snapshot()
+    outcomes = {
+        backend: run_one_backend(make, backend)
+        for backend in ("reference", "fast", "jit")
+    }
+    after = jit_stats_snapshot()
+    assert outcomes["jit"] == outcomes["reference"]
+    assert outcomes["fast"] == outcomes["reference"]
+    assert outcomes["jit"]["error"] is None
+    assert after["loop_traces"] > before["loop_traces"]
+    # The trace was compiled once and revalidated across epochs, not
+    # recompiled per epoch: the jit run saw 4 inner-loop activations but
+    # at most one trace compilation for the head (plus none blacklisted).
+    assert after["traces_compiled"] - before["traces_compiled"] <= 2
+    assert after["traces_blacklisted"] == before["traces_blacklisted"]
+
+
+def test_guard_failure_storm_blacklists_trace():
+    """An indirect jump whose target flips permanently mid-run: once
+    guard failures dominate trace entries the prolog demotes the trace,
+    the head is blacklisted, and execution continues tier-2 — all
+    byte-identical to the interpreter backends."""
+    spec = [
+        (Op.MOV, Reg.RAX, Imm(0)),
+        (Op.MOV, Reg.RCX, Imm(240)),
+    ]
+    target_slot = len(spec)
+    spec.append((Op.MOV, Reg.RDX, None))  # patched: address of landing A
+    head = len(spec)
+    spec.append((Op.ADD, Reg.RAX, Imm(1)))
+    spec.append((Op.JMP, Reg.RDX))
+    landing_a = len(spec)
+    spec.append((Op.ADD, Reg.RAX, Imm(2)))
+    jmp_common = len(spec)
+    spec.append((Op.JMP, None))  # patched: common tail
+    landing_b = len(spec)
+    spec.append((Op.ADD, Reg.RAX, Imm(5)))
+    common = len(spec)
+    spec.append((Op.SUB, Reg.RCX, Imm(1)))
+    spec.append((Op.CMP, Reg.RCX, Imm(200)))
+    jne_skip = len(spec)
+    spec.append((Op.JNE, None))  # patched: skip the target flip
+    switch_slot = len(spec)
+    spec.append((Op.MOV, Reg.RDX, None))  # patched: address of landing B
+    skip = len(spec)
+    spec.append((Op.CMP, Reg.RCX, Imm(0)))
+    spec.append((Op.JG, ("L", head)))
+    spec.append((Op.OUT, Reg.RAX))
+    spec.append((Op.EXIT, Imm(0)))
+    spec = [entry if len(entry) == 3 else (*entry, None) for entry in spec]
+    spec[target_slot] = (Op.MOV, Reg.RDX, ("L", landing_a))
+    spec[jmp_common] = (Op.JMP, ("L", common), None)
+    spec[jne_skip] = (Op.JNE, ("L", skip), None)
+    spec[switch_slot] = (Op.MOV, Reg.RDX, ("L", landing_b))
+
+    before = jit_stats_snapshot()
+    outcomes = {
+        backend: run_one_backend(lambda: build_spec(spec)[0], backend)
+        for backend in ("reference", "fast", "jit")
+    }
+    after = jit_stats_snapshot()
+    assert outcomes["jit"] == outcomes["reference"]
+    assert outcomes["fast"] == outcomes["reference"]
+    assert outcomes["jit"]["error"] is None
+    assert after["trace_guard_failures"] > before["trace_guard_failures"]
+    assert after["traces_blacklisted"] > before["traces_blacklisted"]
 
 
 # ---------------------------------------------------------------------------
